@@ -1,0 +1,76 @@
+"""Ablation: effect of the balance coefficient eta (Eq. 13).
+
+Not a paper table; DESIGN.md lists eta as a key design choice.  Sweeps eta on
+one MSRA-MM-like dataset and one UCI-like dataset and prints the K-means
+accuracy profile, with the raw-data baseline for reference.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, DATASETS_I_SETTINGS, DATASETS_II_SETTINGS
+from repro.core.config import FrameworkConfig
+from repro.datasets import load_msra_mm_dataset, load_uci_dataset
+from repro.experiments.ablation import raw_baseline, run_eta_ablation
+
+_ETAS = (0.2, 0.4, 0.6, 0.8)
+
+
+def _grbm_config():
+    return FrameworkConfig(
+        model="sls_grbm",
+        n_hidden=DATASETS_I_SETTINGS["n_hidden"],
+        n_epochs=15,
+        batch_size=DATASETS_I_SETTINGS["batch_size"],
+        learning_rate=1e-4,
+        supervision_preprocessing="standardize",
+        random_state=0,
+        extra={
+            "supervision_learning_rate": DATASETS_I_SETTINGS["supervision_learning_rate"]
+        },
+    )
+
+
+def _rbm_config():
+    return FrameworkConfig(
+        model="sls_rbm",
+        n_hidden=DATASETS_II_SETTINGS["n_hidden"],
+        n_epochs=15,
+        batch_size=DATASETS_II_SETTINGS["batch_size"],
+        learning_rate=1e-3,
+        preprocessing="median_binarize",
+        supervision_preprocessing="standardize",
+        random_state=0,
+        extra={
+            "supervision_learning_rate": DATASETS_II_SETTINGS["supervision_learning_rate"]
+        },
+    )
+
+
+def bench_ablation_eta_sls_grbm(benchmark):
+    """Eta sweep for slsGRBM on the WA analogue (datasets I)."""
+    dataset = load_msra_mm_dataset("WA", scale=0.25, random_state=0)
+
+    def run():
+        return run_eta_ablation(dataset, etas=_ETAS, base_config=_grbm_config())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = raw_baseline(dataset)
+    emit("\n================ Ablation: eta (slsGRBM, WA analogue) ================")
+    emit(f"raw K-means accuracy: {baseline['accuracy']:.4f}")
+    for eta, profile in results.items():
+        emit(f"eta={eta:.1f}: accuracy={profile['accuracy']:.4f} fmi={profile['fmi']:.4f}")
+
+
+def bench_ablation_eta_sls_rbm(benchmark):
+    """Eta sweep for slsRBM on the BCW analogue (datasets II)."""
+    dataset = load_uci_dataset("BCW", scale=0.5, random_state=0)
+
+    def run():
+        return run_eta_ablation(dataset, etas=_ETAS, base_config=_rbm_config())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = raw_baseline(dataset)
+    emit("\n================ Ablation: eta (slsRBM, BCW analogue) ================")
+    emit(f"raw K-means accuracy: {baseline['accuracy']:.4f}")
+    for eta, profile in results.items():
+        emit(f"eta={eta:.1f}: accuracy={profile['accuracy']:.4f} rand={profile['rand']:.4f}")

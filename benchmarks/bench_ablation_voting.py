@@ -1,0 +1,69 @@
+"""Ablations: voting strategy and ensemble size of the integration.
+
+DESIGN.md calls out two further design choices of the multi-clustering
+integration: unanimous vs. majority voting, and the number/diversity of base
+clusterers.  Both are swept here on one dataset of each suite.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, DATASETS_II_SETTINGS
+from repro.core.config import FrameworkConfig
+from repro.datasets import load_uci_dataset
+from repro.experiments.ablation import (
+    raw_baseline,
+    run_clusterer_count_ablation,
+    run_voting_ablation,
+)
+
+
+def _config():
+    return FrameworkConfig(
+        model="sls_rbm",
+        n_hidden=DATASETS_II_SETTINGS["n_hidden"],
+        n_epochs=15,
+        batch_size=DATASETS_II_SETTINGS["batch_size"],
+        learning_rate=1e-3,
+        preprocessing="median_binarize",
+        supervision_preprocessing="standardize",
+        random_state=0,
+        extra={
+            "supervision_learning_rate": DATASETS_II_SETTINGS["supervision_learning_rate"]
+        },
+    )
+
+
+def bench_ablation_voting(benchmark):
+    """Unanimous vs. majority voting (slsRBM, IR analogue)."""
+    dataset = load_uci_dataset("IR", scale=0.8, random_state=0)
+
+    def run():
+        return run_voting_ablation(dataset, base_config=_config())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = raw_baseline(dataset)
+    emit("\n================ Ablation: voting strategy (slsRBM, IR analogue) ================")
+    emit(f"raw K-means accuracy: {baseline['accuracy']:.4f}")
+    for voting, profile in results.items():
+        emit(f"{voting:<10} accuracy={profile['accuracy']:.4f} fmi={profile['fmi']:.4f}")
+
+
+def bench_ablation_ensemble_size(benchmark):
+    """Number/diversity of base clusterers (slsRBM, BCW analogue)."""
+    dataset = load_uci_dataset("BCW", scale=0.5, random_state=0)
+    ensembles = (
+        ("kmeans",),
+        ("dp", "kmeans"),
+        ("dp", "kmeans", "ap"),
+        ("dp", "kmeans", "ap", "agglomerative"),
+    )
+
+    def run():
+        return run_clusterer_count_ablation(
+            dataset, base_config=_config(), ensembles=ensembles
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("\n================ Ablation: integration ensemble (slsRBM, BCW analogue) ================")
+    for name, profile in results.items():
+        emit(f"{name:<30} accuracy={profile['accuracy']:.4f} rand={profile['rand']:.4f}")

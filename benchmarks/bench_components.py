@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+pieces every experiment is built from: the CD-1 step, the supervision
+gradient, the three clusterers and the external metrics.  They are the place
+to look when optimising the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import AffinityPropagation, DensityPeaks, KMeans
+from repro.datasets.preprocessing import standardize
+from repro.datasets.synthetic import make_high_dimensional_mixture
+from repro.metrics import evaluate_clustering
+from repro.rbm import GaussianRBM, SlsGRBM
+from repro.rbm.gradients import constrict_disperse_gradient
+from repro.supervision import LocalSupervision, MultiClusteringIntegration
+
+
+@pytest.fixture(scope="module")
+def medium_data():
+    data, labels = make_high_dimensional_mixture(
+        250, 150, 3, separation=1.5, random_state=0
+    )
+    return standardize(data), labels
+
+
+@pytest.fixture(scope="module")
+def fitted_grbm(medium_data):
+    data, _ = medium_data
+    model = GaussianRBM(48, learning_rate=1e-3, n_epochs=1, batch_size=64, random_state=0)
+    model.initialize(data)
+    return model, data
+
+
+def bench_cd1_step(benchmark, fitted_grbm):
+    """One CD-1 statistics computation on a 64-sample minibatch."""
+    model, data = fitted_grbm
+    batch = data[:64]
+    benchmark(model.contrastive_divergence, batch)
+
+
+def bench_supervision_gradient(benchmark, medium_data, fitted_grbm):
+    """Constrict/disperse gradient over 300 covered samples, 3 clusters."""
+    model, data = fitted_grbm
+    _, labels = medium_data
+    index_sets = {int(k): np.flatnonzero(labels == k) for k in np.unique(labels)}
+    benchmark(
+        constrict_disperse_gradient,
+        data,
+        model.weights_,
+        model.hidden_bias_,
+        index_sets,
+    )
+
+
+def bench_sls_grbm_epoch(benchmark, medium_data):
+    """One full slsGRBM training epoch with supervision attached."""
+    data, labels = medium_data
+    supervision = LocalSupervision.from_full_partition(labels)
+    model = SlsGRBM(48, learning_rate=1e-4, n_epochs=1, batch_size=64, random_state=0)
+    model.initialize(data)
+    model.set_supervision(data, supervision)
+
+    def one_epoch():
+        for start in range(0, data.shape[0], 64):
+            model.partial_fit(data[start : start + 64])
+
+    benchmark(one_epoch)
+
+
+def bench_kmeans(benchmark, medium_data):
+    """K-means (10 restarts) on 300 x 200 data."""
+    data, _ = medium_data
+    benchmark(lambda: KMeans(3, random_state=0).fit_predict(data))
+
+
+def bench_density_peaks(benchmark, medium_data):
+    """Density Peaks on 300 x 200 data."""
+    data, _ = medium_data
+    benchmark(lambda: DensityPeaks(3).fit_predict(data))
+
+
+def bench_affinity_propagation(benchmark, medium_data):
+    """Affinity Propagation (median preference) on 300 x 200 data."""
+    data, _ = medium_data
+    benchmark(lambda: AffinityPropagation(random_state=0).fit_predict(data))
+
+
+def bench_multi_clustering_integration(benchmark, medium_data):
+    """Full DP + K-means + AP integration with unanimous voting."""
+    data, _ = medium_data
+    benchmark(
+        lambda: MultiClusteringIntegration(3, random_state=0).fit_supervision(data)
+    )
+
+
+def bench_metrics(benchmark, medium_data):
+    """All external metrics for one clustering of 300 samples."""
+    _, labels = medium_data
+    rng = np.random.default_rng(0)
+    predicted = rng.integers(0, 3, labels.shape[0])
+    benchmark(evaluate_clustering, labels, predicted)

@@ -1,0 +1,41 @@
+"""Figures 2-4: per-dataset metric series on datasets I.
+
+Each figure has three panels (one per base clusterer DP / K-means / AP) and
+three lines per panel (raw, +GRBM, +slsGRBM); this bench prints those series
+for accuracy (Fig. 2), purity (Fig. 3) and FMI (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.figures import figure_series
+
+_FIGURES = (("accuracy", "Fig. 2"), ("purity", "Fig. 3"), ("fmi", "Fig. 4"))
+
+
+def _print_series(table, metric, figure_name):
+    panels = figure_series(table, metric, model_suffix="GRBM")
+    emit(f"\n================ {figure_name}: {metric} per dataset (datasets I) ================")
+    emit("datasets:", ", ".join(table.dataset_order))
+    for base, series in panels.items():
+        emit(f"-- panel {base}")
+        for algorithm, values in series.items():
+            formatted = "  ".join(f"{v:.4f}" for v in values)
+            emit(f"   {algorithm:<18} {formatted}")
+
+
+def bench_fig2_fig3_fig4_series(benchmark, datasets1_table):
+    """Series data behind Figs. 2-4."""
+    table = datasets1_table
+
+    def extract():
+        return {
+            metric: figure_series(table, metric, model_suffix="GRBM")
+            for metric, _ in _FIGURES
+        }
+
+    panels = benchmark(extract)
+    assert set(panels) == {"accuracy", "purity", "fmi"}
+
+    for metric, figure_name in _FIGURES:
+        _print_series(table, metric, figure_name)

@@ -1,0 +1,22 @@
+"""Figure 5: average accuracy / purity / FMI per algorithm on datasets I."""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.figures import figure_average_bars
+from repro.experiments.reporting import format_summary_table
+
+
+def bench_fig5_averages(benchmark, datasets1_table):
+    """Bar heights of Fig. 5 (per-algorithm averages over datasets I)."""
+    table = datasets1_table
+    bars = benchmark(
+        lambda: figure_average_bars(table, ("accuracy", "purity", "fmi"))
+    )
+    assert set(bars) == {"accuracy", "purity", "fmi"}
+    emit()
+    emit(
+        format_summary_table(
+            bars, title="Fig. 5 (measured): per-algorithm averages, datasets I"
+        )
+    )

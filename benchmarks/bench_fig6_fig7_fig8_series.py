@@ -1,0 +1,40 @@
+"""Figures 6-8: per-dataset metric series on datasets II.
+
+Three panels per figure (DP / K-means / AP), three lines per panel (raw,
++RBM, +slsRBM), for accuracy (Fig. 6), Rand index (Fig. 7) and FMI (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.figures import figure_series
+
+_FIGURES = (("accuracy", "Fig. 6"), ("rand", "Fig. 7"), ("fmi", "Fig. 8"))
+
+
+def _print_series(table, metric, figure_name):
+    panels = figure_series(table, metric, model_suffix="RBM")
+    emit(f"\n================ {figure_name}: {metric} per dataset (datasets II) ================")
+    emit("datasets:", ", ".join(table.dataset_order))
+    for base, series in panels.items():
+        emit(f"-- panel {base}")
+        for algorithm, values in series.items():
+            formatted = "  ".join(f"{v:.4f}" for v in values)
+            emit(f"   {algorithm:<16} {formatted}")
+
+
+def bench_fig6_fig7_fig8_series(benchmark, datasets2_table):
+    """Series data behind Figs. 6-8."""
+    table = datasets2_table
+
+    def extract():
+        return {
+            metric: figure_series(table, metric, model_suffix="RBM")
+            for metric, _ in _FIGURES
+        }
+
+    panels = benchmark(extract)
+    assert set(panels) == {"accuracy", "rand", "fmi"}
+
+    for metric, figure_name in _FIGURES:
+        _print_series(table, metric, figure_name)

@@ -1,0 +1,22 @@
+"""Figure 9: average accuracy / Rand index / FMI per algorithm on datasets II."""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.figures import figure_average_bars
+from repro.experiments.reporting import format_summary_table
+
+
+def bench_fig9_averages(benchmark, datasets2_table):
+    """Bar heights of Fig. 9 (per-algorithm averages over datasets II)."""
+    table = datasets2_table
+    bars = benchmark(
+        lambda: figure_average_bars(table, ("accuracy", "rand", "fmi"))
+    )
+    assert set(bars) == {"accuracy", "rand", "fmi"}
+    emit()
+    emit(
+        format_summary_table(
+            bars, title="Fig. 9 (measured): per-algorithm averages, datasets II"
+        )
+    )

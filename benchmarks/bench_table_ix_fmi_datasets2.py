@@ -1,0 +1,20 @@
+"""Table IX: Fowlkes-Mallows index on datasets II (UCI analogues)."""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_IX_FMI_AVERAGES
+
+
+def bench_table_ix_fmi(benchmark, datasets2_table):
+    """FMI rows of Table IX plus paper-vs-measured averages."""
+    table = datasets2_table
+    rows = benchmark(lambda: table.rows("fmi"))
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "fmi", "Table IX (measured): FMI, datasets II")
+    print_paper_comparison(
+        "Table IX averages: FMI, datasets II",
+        table.column_averages("fmi"),
+        PAPER_TABLE_IX_FMI_AVERAGES,
+    )

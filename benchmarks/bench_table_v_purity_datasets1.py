@@ -1,0 +1,20 @@
+"""Table V: purity on datasets I (MSRA-MM analogues)."""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_V_PURITY_AVERAGES
+
+
+def bench_table_v_purity(benchmark, datasets1_table):
+    """Purity rows of Table V plus paper-vs-measured averages."""
+    table = datasets1_table
+    rows = benchmark(lambda: table.rows("purity"))
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "purity", "Table V (measured): purity, datasets I")
+    print_paper_comparison(
+        "Table V averages: purity, datasets I",
+        table.column_averages("purity"),
+        PAPER_TABLE_V_PURITY_AVERAGES,
+    )

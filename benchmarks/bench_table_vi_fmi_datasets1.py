@@ -1,0 +1,20 @@
+"""Table VI: Fowlkes-Mallows index on datasets I (MSRA-MM analogues)."""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_VI_FMI_AVERAGES
+
+
+def bench_table_vi_fmi(benchmark, datasets1_table):
+    """FMI rows of Table VI plus paper-vs-measured averages."""
+    table = datasets1_table
+    rows = benchmark(lambda: table.rows("fmi"))
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "fmi", "Table VI (measured): FMI, datasets I")
+    print_paper_comparison(
+        "Table VI averages: FMI, datasets I",
+        table.column_averages("fmi"),
+        PAPER_TABLE_VI_FMI_AVERAGES,
+    )

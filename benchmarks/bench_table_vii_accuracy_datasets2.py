@@ -1,0 +1,20 @@
+"""Table VII: clustering accuracy on datasets II (UCI analogues)."""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_VII_ACCURACY, paper_average
+
+
+def bench_table_vii_accuracy(benchmark, datasets2_table):
+    """Accuracy rows of Table VII plus paper-vs-measured averages."""
+    table = datasets2_table
+    rows = benchmark(lambda: table.rows("accuracy"))
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "accuracy", "Table VII (measured): accuracy, datasets II")
+    print_paper_comparison(
+        "Table VII averages: accuracy, datasets II",
+        table.column_averages("accuracy"),
+        paper_average(PAPER_TABLE_VII_ACCURACY),
+    )

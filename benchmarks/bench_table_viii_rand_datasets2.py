@@ -1,0 +1,20 @@
+"""Table VIII: Rand index on datasets II (UCI analogues)."""
+
+from __future__ import annotations
+
+from conftest import print_full_table, print_paper_comparison
+from repro.experiments.expected import PAPER_TABLE_VIII_RAND_AVERAGES
+
+
+def bench_table_viii_rand(benchmark, datasets2_table):
+    """Rand-index rows of Table VIII plus paper-vs-measured averages."""
+    table = datasets2_table
+    rows = benchmark(lambda: table.rows("rand"))
+    assert rows[-1]["dataset"] == "Average"
+
+    print_full_table(table, "rand", "Table VIII (measured): Rand index, datasets II")
+    print_paper_comparison(
+        "Table VIII averages: Rand index, datasets II",
+        table.column_averages("rand"),
+        PAPER_TABLE_VIII_RAND_AVERAGES,
+    )

@@ -1,0 +1,179 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper table/figure has its own ``bench_*`` module, but they all read
+from two expensive shared computations — the full algorithm grid over
+datasets I (MSRA-MM analogues) and over datasets II (UCI analogues) — which
+are produced once per session by the fixtures below.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE``    — size multiplier for the datasets-I suite
+  (default 0.2 so the whole harness completes in a few minutes; 1.0
+  reproduces the paper's full instance/feature counts at several times the
+  runtime).
+* ``REPRO_BENCH_SCALE2``   — size multiplier for the datasets-II suite
+  (default 0.4; 1.0 uses the paper's full UCI shapes).
+* ``REPRO_BENCH_EPOCHS``   — RBM training epochs (default 25 for datasets I,
+  20 for datasets II).
+* ``REPRO_BENCH_REPEATS``  — repeats per stochastic cell (default 1).
+
+The formatted tables are written through ``emit`` (the real stdout), so they
+appear in the console / ``tee`` output even though pytest captures test
+stdout by default.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import warnings
+
+import pytest
+
+from repro.datasets import load_msra_mm_suite, load_uci_suite
+from repro.experiments.expected import compare_shape, paper_average
+from repro.experiments.grids import DATASETS_I_ALGORITHMS, DATASETS_II_ALGORITHMS
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentRunner
+
+warnings.filterwarnings("ignore")
+
+
+_TABLES_PATH = os.environ.get("REPRO_BENCH_TABLES", "/root/repo/bench_tables.txt")
+
+
+def emit(*args) -> None:
+    """Print to the real stdout and mirror into the tables file.
+
+    pytest captures test output at the file-descriptor level, so the
+    regenerated paper tables are additionally appended to ``REPRO_BENCH_TABLES``
+    (default ``bench_tables.txt``) to make sure they survive any capture mode.
+    """
+    text = " ".join(str(a) for a in args)
+    print(text, file=sys.__stdout__, flush=True)
+    try:
+        with open(_TABLES_PATH, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError:
+        pass
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return default if value is None else float(value)
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return default if value is None else int(value)
+
+
+#: Model/grid settings used by the datasets-I (slsGRBM) benches.  Calibrated
+#: so the paper's qualitative shape is visible at REPRO_BENCH_SCALE=0.5.
+DATASETS_I_SETTINGS = dict(
+    n_hidden=48,
+    batch_size=64,
+    supervision_learning_rate=8e-3,
+)
+
+#: Model/grid settings used by the datasets-II (slsRBM) benches.
+DATASETS_II_SETTINGS = dict(
+    n_hidden=32,
+    batch_size=32,
+    supervision_learning_rate=5e-3,
+)
+
+
+@pytest.fixture(scope="session")
+def datasets1_table():
+    """Full 9x9 experiment grid over the MSRA-MM-like suite (Tables IV-VI)."""
+    scale = _env_float("REPRO_BENCH_SCALE", 0.2)
+    n_epochs = _env_int("REPRO_BENCH_EPOCHS", 20)
+    n_repeats = _env_int("REPRO_BENCH_REPEATS", 1)
+    suite = load_msra_mm_suite(scale=scale, random_state=0)
+    runner = ExperimentRunner(
+        DATASETS_I_ALGORITHMS,
+        n_repeats=n_repeats,
+        n_hidden=DATASETS_I_SETTINGS["n_hidden"],
+        n_epochs=n_epochs,
+        batch_size=DATASETS_I_SETTINGS["batch_size"],
+        random_state=0,
+        config_overrides={
+            "extra": {
+                "supervision_learning_rate": DATASETS_I_SETTINGS[
+                    "supervision_learning_rate"
+                ]
+            }
+        },
+    )
+    return runner.run_suite(suite, name="datasets-I")
+
+
+@pytest.fixture(scope="session")
+def datasets2_table():
+    """Full 9x6 experiment grid over the UCI-like suite (Tables VII-IX)."""
+    scale = _env_float("REPRO_BENCH_SCALE2", 0.4)
+    n_epochs = _env_int("REPRO_BENCH_EPOCHS", 20)
+    n_repeats = _env_int("REPRO_BENCH_REPEATS", 1)
+    suite = load_uci_suite(scale=scale, random_state=0)
+    runner = ExperimentRunner(
+        DATASETS_II_ALGORITHMS,
+        n_repeats=n_repeats,
+        n_hidden=DATASETS_II_SETTINGS["n_hidden"],
+        n_epochs=n_epochs,
+        batch_size=DATASETS_II_SETTINGS["batch_size"],
+        random_state=0,
+        config_overrides={
+            "extra": {
+                "supervision_learning_rate": DATASETS_II_SETTINGS[
+                    "supervision_learning_rate"
+                ]
+            }
+        },
+    )
+    return runner.run_suite(suite, name="datasets-II")
+
+
+def print_paper_comparison(title, measured_averages, paper_averages):
+    """Print measured vs paper column averages and the shape checklist."""
+    emit(f"\n================ {title} ================")
+    emit(f"{'Algorithm':<18} {'measured':>10} {'paper':>10}")
+    for algorithm, paper_value in paper_averages.items():
+        measured = measured_averages.get(algorithm, float('nan'))
+        emit(f"{algorithm:<18} {measured:>10.4f} {paper_value:>10.4f}")
+    shape = compare_shape(measured_averages, paper_averages)
+    for base, checks in shape.items():
+        emit(
+            f"shape[{base}]: sls>plain measured={checks['sls_beats_plain_measured']} "
+            f"(paper={checks['sls_beats_plain_paper']}), "
+            f"sls>raw measured={checks['sls_beats_raw_measured']} "
+            f"(paper={checks['sls_beats_raw_paper']})"
+        )
+
+
+def print_full_table(table, metric, title):
+    """Print the complete per-dataset table in the paper's layout."""
+    emit()
+    emit(format_table(table, metric, title=title))
+
+
+__all__ = [
+    "emit",
+    "print_paper_comparison",
+    "print_full_table",
+    "paper_average",
+    "DATASETS_I_SETTINGS",
+    "DATASETS_II_SETTINGS",
+]
+
+
+@pytest.fixture(autouse=True)
+def _uncaptured_output(capfd):
+    """Disable pytest's fd-level capture inside each bench.
+
+    The benches print the regenerated paper tables; with the default "fd"
+    capture those lines would only be visible on failure, so capture is
+    switched off for the duration of every benchmark test.
+    """
+    with capfd.disabled():
+        yield

@@ -1,0 +1,83 @@
+"""Using the library on your own data, step by step.
+
+Instead of the one-call ``SelfLearningEncodingFramework``, this example walks
+through the individual stages so each can be customised:
+
+1. build the multi-clustering integration by hand (choose clusterers and the
+   voting strategy, inspect the agreement statistics);
+2. train an slsGRBM with the resulting local supervision;
+3. inspect how the constrict/disperse loss of the hidden features evolves;
+4. cluster the hidden features and evaluate.
+
+Run with:  python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.clustering import KMeans
+from repro.datasets.preprocessing import standardize
+from repro.datasets.synthetic import make_high_dimensional_mixture
+from repro.metrics import evaluate_clustering
+from repro.rbm import SlsGRBM
+from repro.supervision import MultiClusteringIntegration
+
+warnings.filterwarnings("ignore")
+
+
+def main() -> None:
+    # Any (n_samples, n_features) float matrix works here; ground-truth labels
+    # are only needed for the final evaluation.
+    data, labels = make_high_dimensional_mixture(
+        400, 120, 3, separation=0.55, weights=np.array([0.6, 0.25, 0.15]), random_state=7
+    )
+    data = standardize(data)
+
+    # --- stage 1: self-learning local supervision -----------------------------
+    integration = MultiClusteringIntegration(
+        n_clusters=3,
+        clusterers=("dp", "kmeans", "ap"),   # swap in "agglomerative"/"spectral" freely
+        voting="unanimous",
+        random_state=0,
+    )
+    supervision = integration.fit_supervision(data)
+    print("agreement rate of the ensemble:", round(integration.agreement_rate_, 3))
+    print("supervision:", supervision.summary())
+
+    # --- stage 2: supervision-guided GRBM -------------------------------------
+    model = SlsGRBM(
+        n_hidden=48,
+        eta=0.4,
+        learning_rate=1e-4,
+        supervision_learning_rate=8e-3,
+        n_epochs=30,
+        batch_size=64,
+        random_state=0,
+    )
+    model.fit(data, supervision=supervision)
+
+    # --- stage 3: training diagnostics ----------------------------------------
+    history = model.training_history_
+    print("\nconstrict/disperse loss per epoch (first -> last):")
+    losses = history.supervision_losses
+    print("  ", " ".join(f"{v:.3f}" for v in losses[:5]), "...",
+          " ".join(f"{v:.3f}" for v in losses[-3:]))
+
+    # --- stage 4: downstream clustering ----------------------------------------
+    features = model.transform(data)
+    raw_report = evaluate_clustering(
+        labels, KMeans(3, random_state=0).fit_predict(data)
+    )
+    sls_report = evaluate_clustering(
+        labels, KMeans(3, random_state=0).fit_predict(features)
+    )
+    print(f"\n{'metric':<10} {'raw data':>10} {'slsGRBM':>10}")
+    for metric in ("accuracy", "purity", "fmi", "nmi"):
+        print(f"{metric:<10} {raw_report[metric]:>10.4f} {sls_report[metric]:>10.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: unsupervised feature learning with multi-clustering integration RBMs.
+
+Reproduction of "Unsupervised Feature Learning Architecture with
+Multi-clustering Integration RBM" (slsRBM / slsGRBM): restricted Boltzmann
+machines whose contrastive-divergence learning is guided by self-learning
+local supervisions — credible local clusters obtained by integrating several
+unsupervised clusterings with an unanimous-voting strategy — so that hidden
+features of the same local cluster constrict together while the centres of
+different clusters disperse.
+
+Quickstart
+----------
+>>> from repro import FrameworkConfig, SelfLearningEncodingFramework
+>>> from repro.datasets import load_uci_dataset
+>>> from repro.clustering import KMeans
+>>> from repro.metrics import clustering_accuracy
+>>>
+>>> dataset = load_uci_dataset("IR", scale=0.5)
+>>> config = FrameworkConfig(model="sls_rbm", preprocessing="median_binarize",
+...                          n_hidden=16, n_epochs=5)
+>>> framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
+>>> features = framework.fit_transform(dataset.data)
+>>> labels = KMeans(dataset.n_classes, random_state=0).fit_predict(features)
+>>> 0.0 <= clustering_accuracy(dataset.labels, labels) <= 1.0
+True
+"""
+
+from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
+from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline, PipelineResult
+from repro.rbm import BernoulliRBM, GaussianRBM, SlsGRBM, SlsRBM
+from repro.supervision import LocalSupervision, MultiClusteringIntegration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FrameworkConfig",
+    "GRBM_PAPER_CONFIG",
+    "RBM_PAPER_CONFIG",
+    "SelfLearningEncodingFramework",
+    "EncodingResult",
+    "ClusteringPipeline",
+    "PipelineResult",
+    "BernoulliRBM",
+    "GaussianRBM",
+    "SlsRBM",
+    "SlsGRBM",
+    "LocalSupervision",
+    "MultiClusteringIntegration",
+]

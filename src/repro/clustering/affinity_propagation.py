@@ -1,0 +1,208 @@
+"""Affinity Propagation (Frey & Dueck, Science 2007).
+
+Clusters by passing responsibility and availability messages between data
+points until a stable set of exemplars emerges.  The number of clusters is
+determined by the ``preference`` (self-similarity); the paper uses the
+algorithm with its conventional default of the median pairwise similarity.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.utils.numerics import pairwise_squared_distances
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["AffinityPropagation"]
+
+
+class AffinityPropagation(BaseClusterer):
+    """Affinity Propagation clustering on negative squared Euclidean similarity.
+
+    Parameters
+    ----------
+    damping : float, default 0.7
+        Message damping factor in ``[0.5, 1)``.
+    max_iter : int, default 200
+        Maximum number of message-passing iterations.
+    convergence_iter : int, default 15
+        Stop when the exemplar set is unchanged for this many iterations.
+    preference : float or None
+        Self-similarity; ``None`` uses the median of the off-diagonal
+        similarities (the standard choice).
+    target_n_clusters : int or None
+        When set, the preference is tuned by bisection so that the number of
+        exemplars approaches this target.  The paper's evaluation compares
+        against partitions with the ground-truth number of classes, so the
+        experiment harness sets this to ``K``.
+    random_state : int, Generator or None
+        Used only for the tiny symmetry-breaking noise added to the
+        similarity matrix.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    cluster_centers_indices_ : ndarray
+        Indices of the exemplar samples.
+    n_iter_ : int
+    converged_ : bool
+    """
+
+    def __init__(
+        self,
+        *,
+        damping: float = 0.7,
+        max_iter: int = 200,
+        convergence_iter: int = 15,
+        preference: float | None = None,
+        target_n_clusters: int | None = None,
+        random_state=None,
+    ) -> None:
+        self.damping = check_in_range(damping, name="damping", low=0.5, high=0.999)
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.convergence_iter = check_positive_int(
+            convergence_iter, name="convergence_iter"
+        )
+        self.preference = None if preference is None else float(preference)
+        if target_n_clusters is not None:
+            target_n_clusters = check_positive_int(
+                target_n_clusters, name="target_n_clusters"
+            )
+        self.target_n_clusters = target_n_clusters
+        self.random_state = random_state
+
+    @property
+    def name(self) -> str:
+        return "AP"
+
+    def _fit(self, data: np.ndarray) -> None:
+        n_samples = data.shape[0]
+        if n_samples < 2:
+            raise ValidationError("AffinityPropagation requires at least 2 samples")
+        similarity = -pairwise_squared_distances(data)
+        rng = check_random_state(self.random_state)
+        # Tiny noise removes degeneracies that cause oscillations.
+        noise_scale = 1e-12 * (np.abs(similarity).max() + 1.0)
+        similarity = similarity + noise_scale * rng.standard_normal(similarity.shape)
+
+        off_diagonal = similarity[~np.eye(n_samples, dtype=bool)]
+        median_preference = float(np.median(off_diagonal))
+
+        if self.target_n_clusters is not None:
+            preference = self._tune_preference(similarity, median_preference)
+        elif self.preference is not None:
+            preference = self.preference
+        else:
+            preference = median_preference
+
+        labels, exemplars, n_iter, converged = self._message_passing(
+            similarity, preference
+        )
+        self.preference_ = float(preference)
+        self.labels_ = labels
+        self.cluster_centers_indices_ = exemplars
+        self.n_iter_ = n_iter
+        self.converged_ = converged
+        if not converged:
+            warnings.warn(
+                "AffinityPropagation did not converge; results may be unstable",
+                ConvergenceWarning,
+            )
+
+    def _tune_preference(
+        self, similarity: np.ndarray, median_preference: float
+    ) -> float:
+        """Bisection search for a preference yielding ~target_n_clusters exemplars."""
+        target = self.target_n_clusters
+        low = median_preference * 64.0 if median_preference < 0 else -64.0
+        high = median_preference / 64.0 if median_preference < 0 else -1e-6
+        best_pref = median_preference
+        best_gap = np.inf
+        for _ in range(6):
+            mid = 0.5 * (low + high)
+            labels, exemplars, _, _ = self._message_passing(similarity, mid)
+            n_found = exemplars.shape[0]
+            gap = abs(n_found - target)
+            if gap < best_gap:
+                best_gap = gap
+                best_pref = mid
+            if gap == 0:
+                break
+            if n_found > target:
+                # too many clusters: decrease (more negative) the preference
+                high = mid if mid < high else high
+                low, high = low, mid
+            else:
+                low, high = mid, high
+        return best_pref
+
+    def _message_passing(
+        self, similarity: np.ndarray, preference: float
+    ) -> tuple[np.ndarray, np.ndarray, int, bool]:
+        n_samples = similarity.shape[0]
+        s = similarity.copy()
+        np.fill_diagonal(s, preference)
+
+        responsibility = np.zeros_like(s)
+        availability = np.zeros_like(s)
+        exemplar_history = np.zeros((self.convergence_iter, n_samples), dtype=bool)
+        converged = False
+        iteration = 0
+
+        index = np.arange(n_samples)
+        for iteration in range(1, self.max_iter + 1):
+            # --- responsibilities -------------------------------------------------
+            combined = availability + s
+            first_max_idx = np.argmax(combined, axis=1)
+            first_max = combined[index, first_max_idx]
+            combined[index, first_max_idx] = -np.inf
+            second_max = np.max(combined, axis=1)
+
+            new_responsibility = s - first_max[:, None]
+            new_responsibility[index, first_max_idx] = (
+                s[index, first_max_idx] - second_max
+            )
+            responsibility = (
+                self.damping * responsibility
+                + (1.0 - self.damping) * new_responsibility
+            )
+
+            # --- availabilities ---------------------------------------------------
+            positive_resp = np.maximum(responsibility, 0.0)
+            np.fill_diagonal(positive_resp, responsibility.diagonal())
+            column_sums = positive_resp.sum(axis=0)
+            new_availability = column_sums[None, :] - positive_resp
+            diagonal = new_availability.diagonal().copy()
+            new_availability = np.minimum(new_availability, 0.0)
+            np.fill_diagonal(new_availability, diagonal)
+            availability = (
+                self.damping * availability + (1.0 - self.damping) * new_availability
+            )
+
+            # --- convergence check ------------------------------------------------
+            exemplars_mask = (availability + responsibility).diagonal() > 0
+            exemplar_history[(iteration - 1) % self.convergence_iter] = exemplars_mask
+            if iteration >= self.convergence_iter:
+                stable = np.all(exemplar_history == exemplar_history[0], axis=0).all()
+                if stable and exemplars_mask.any():
+                    converged = True
+                    break
+
+        exemplars = np.flatnonzero(
+            (availability + responsibility).diagonal() > 0
+        )
+        if exemplars.size == 0:
+            # Degenerate outcome: fall back to the sample with the strongest
+            # evidence of being an exemplar so that at least one cluster exists.
+            exemplars = np.array(
+                [int(np.argmax((availability + responsibility).diagonal()))]
+            )
+
+        assignment = np.argmax(s[:, exemplars], axis=1)
+        assignment[exemplars] = np.arange(exemplars.shape[0])
+        return assignment.astype(int), exemplars, iteration, converged

@@ -1,0 +1,75 @@
+"""Common interface for the clustering algorithms.
+
+Every clusterer follows a small ``fit`` / ``fit_predict`` protocol and stores
+its assignment in ``labels_`` so that the multi-clustering integration and the
+experiment harness can treat all algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.utils.validation import check_array
+
+__all__ = ["BaseClusterer"]
+
+
+class BaseClusterer(abc.ABC):
+    """Abstract base class for clustering estimators.
+
+    Subclasses implement :meth:`_fit` which must set ``labels_`` (an integer
+    vector of cluster assignments) and may set additional fitted attributes
+    (cluster centres, exemplars, ...).
+    """
+
+    #: set by :meth:`fit`; integer cluster assignment per sample
+    labels_: np.ndarray
+
+    @property
+    def name(self) -> str:
+        """Short human-readable algorithm name (class name by default)."""
+        return type(self).__name__
+
+    def fit(self, data) -> "BaseClusterer":
+        """Cluster ``data`` (shape ``(n_samples, n_features)``) in place."""
+        data = check_array(data, name="data")
+        self._fit(data)
+        if not hasattr(self, "labels_"):
+            raise RuntimeError(
+                f"{type(self).__name__}._fit() did not set labels_"
+            )
+        self.labels_ = np.asarray(self.labels_, dtype=int)
+        self.n_samples_ = data.shape[0]
+        self.n_features_ = data.shape[1]
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Cluster ``data`` and return the label vector."""
+        return self.fit(data).labels_
+
+    @property
+    def n_clusters_found_(self) -> int:
+        """Number of distinct clusters in the fitted assignment."""
+        self._check_fitted()
+        return int(np.unique(self.labels_).shape[0])
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "labels_"):
+            raise NotFittedError(
+                f"{type(self).__name__} instance is not fitted yet; call fit() first"
+            )
+
+    @abc.abstractmethod
+    def _fit(self, data: np.ndarray) -> None:
+        """Algorithm-specific fitting logic; must set ``self.labels_``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.endswith("_")
+        )
+        return f"{type(self).__name__}({params})"

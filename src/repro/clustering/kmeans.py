@@ -1,0 +1,158 @@
+"""Lloyd's K-means with k-means++ initialisation and multiple restarts."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.utils.numerics import pairwise_squared_distances
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KMeans", "kmeans_plus_plus"]
+
+
+def kmeans_plus_plus(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: return ``n_clusters`` initial centres.
+
+    The first centre is drawn uniformly; each subsequent centre is drawn with
+    probability proportional to its squared distance to the closest centre
+    chosen so far.
+    """
+    n_samples = data.shape[0]
+    centers = np.empty((n_clusters, data.shape[1]), dtype=float)
+    first = int(rng.integers(n_samples))
+    centers[0] = data[first]
+    closest_sq = pairwise_squared_distances(data, centers[:1]).ravel()
+    for index in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with an existing centre; pick
+            # uniformly at random.
+            choice = int(rng.integers(n_samples))
+        else:
+            probabilities = closest_sq / total
+            choice = int(rng.choice(n_samples, p=probabilities))
+        centers[index] = data[choice]
+        new_sq = pairwise_squared_distances(data, centers[index : index + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centers
+
+
+class KMeans(BaseClusterer):
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters ``K``.
+    n_init : int, default 10
+        Number of random restarts; the solution with the lowest inertia
+        (within-cluster sum of squared distances) is kept.
+    max_iter : int, default 300
+        Maximum Lloyd iterations per restart.
+    tol : float, default 1e-6
+        Relative centre-movement tolerance for declaring convergence.
+    random_state : int, Generator or None
+        Seed for initialisation.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    cluster_centers_ : ndarray of shape (n_clusters, n_features)
+    inertia_ : float
+    n_iter_ : int
+        Iterations used by the best restart.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.n_init = check_positive_int(n_init, name="n_init")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        if tol < 0:
+            raise ValidationError(f"tol must be non-negative, got {tol}")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    @property
+    def name(self) -> str:
+        return "K-means"
+
+    def _fit(self, data: np.ndarray) -> None:
+        n_samples = data.shape[0]
+        if self.n_clusters > n_samples:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n_samples}"
+            )
+        rng = check_random_state(self.random_state)
+
+        best_inertia = np.inf
+        best_labels = None
+        best_centers = None
+        best_iterations = 0
+        for _ in range(self.n_init):
+            labels, centers, inertia, iterations = self._single_run(data, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best_labels = labels
+                best_centers = centers
+                best_iterations = iterations
+
+        self.labels_ = best_labels
+        self.cluster_centers_ = best_centers
+        self.inertia_ = float(best_inertia)
+        self.n_iter_ = int(best_iterations)
+
+    def _single_run(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = kmeans_plus_plus(data, self.n_clusters, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = pairwise_squared_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = np.empty_like(centers)
+            for k in range(self.n_clusters):
+                members = data[labels == k]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from its
+                    # assigned centre to keep exactly K clusters alive.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centers[k] = data[farthest]
+                else:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.sqrt(((new_centers - centers) ** 2).sum()))
+            centers = new_centers
+            scale = float(np.sqrt((centers**2).sum())) + 1e-12
+            if shift / scale <= self.tol:
+                break
+        else:
+            warnings.warn(
+                "KMeans reached max_iter without converging", ConvergenceWarning
+            )
+
+        distances = pairwise_squared_distances(data, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        return labels, centers, inertia, iteration
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new samples to the nearest fitted centre."""
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        distances = pairwise_squared_distances(data, self.cluster_centers_)
+        return np.argmin(distances, axis=1)

@@ -1,0 +1,69 @@
+"""Factory helpers mapping short algorithm names to clusterer instances.
+
+The experiment harness describes the paper's algorithm grid with the short
+names used in the tables ("DP", "K-means", "AP"); this registry turns those
+names into configured estimator objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clustering.affinity_propagation import AffinityPropagation
+from repro.clustering.base import BaseClusterer
+from repro.clustering.density_peaks import DensityPeaks
+from repro.clustering.hierarchical import AgglomerativeClustering
+from repro.clustering.kmeans import KMeans
+from repro.clustering.spectral import SpectralClustering
+from repro.exceptions import ValidationError
+
+__all__ = ["make_clusterer", "available_clusterers"]
+
+_FACTORIES: dict[str, Callable[..., BaseClusterer]] = {
+    "kmeans": lambda n_clusters, random_state=None: KMeans(
+        n_clusters, random_state=random_state
+    ),
+    "k-means": lambda n_clusters, random_state=None: KMeans(
+        n_clusters, random_state=random_state
+    ),
+    "ap": lambda n_clusters, random_state=None: AffinityPropagation(
+        target_n_clusters=n_clusters, random_state=random_state
+    ),
+    "affinity_propagation": lambda n_clusters, random_state=None: AffinityPropagation(
+        target_n_clusters=n_clusters, random_state=random_state
+    ),
+    "dp": lambda n_clusters, random_state=None: DensityPeaks(n_clusters),
+    "density_peaks": lambda n_clusters, random_state=None: DensityPeaks(n_clusters),
+    "agglomerative": lambda n_clusters, random_state=None: AgglomerativeClustering(
+        n_clusters
+    ),
+    "spectral": lambda n_clusters, random_state=None: SpectralClustering(
+        n_clusters, random_state=random_state
+    ),
+}
+
+
+def available_clusterers() -> tuple[str, ...]:
+    """Canonical short names accepted by :func:`make_clusterer`."""
+    return ("dp", "kmeans", "ap", "agglomerative", "spectral")
+
+
+def make_clusterer(name: str, n_clusters: int, *, random_state=None) -> BaseClusterer:
+    """Instantiate a clusterer from its short name.
+
+    Parameters
+    ----------
+    name : str
+        One of :func:`available_clusterers` (case insensitive; "k-means" and
+        "density_peaks"/"affinity_propagation" aliases are accepted).
+    n_clusters : int
+        Target number of clusters.
+    random_state : int, Generator or None
+        Seed forwarded to stochastic algorithms.
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise ValidationError(
+            f"unknown clusterer {name!r}; available: {sorted(set(_FACTORIES))}"
+        )
+    return _FACTORIES[key](n_clusters, random_state=random_state)

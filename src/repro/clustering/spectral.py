@@ -1,0 +1,91 @@
+"""Spectral clustering on a Gaussian-kernel affinity graph.
+
+Another optional member of the integration ensemble (see
+:mod:`repro.clustering.hierarchical`).  Embeds the samples with the leading
+eigenvectors of the normalised graph Laplacian and clusters the embedding
+with K-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh
+
+from repro.clustering.base import BaseClusterer
+from repro.clustering.kmeans import KMeans
+from repro.exceptions import ValidationError
+from repro.utils.numerics import pairwise_squared_distances
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SpectralClustering"]
+
+
+class SpectralClustering(BaseClusterer):
+    """Normalised-cut spectral clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters and of Laplacian eigenvectors used.
+    gamma : float or None
+        Gaussian kernel width ``exp(-gamma * d^2)``; ``None`` uses
+        ``1 / median(d^2)`` which adapts to the data scale.
+    random_state : int, Generator or None
+        Passed to the K-means step on the spectral embedding.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        gamma: float | None = None,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        if gamma is not None and gamma <= 0:
+            raise ValidationError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+        self.random_state = random_state
+
+    @property
+    def name(self) -> str:
+        return "Spectral"
+
+    def _fit(self, data: np.ndarray) -> None:
+        n_samples = data.shape[0]
+        if self.n_clusters > n_samples:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n_samples}"
+            )
+        squared = pairwise_squared_distances(data)
+        if self.gamma is None:
+            off_diagonal = squared[~np.eye(n_samples, dtype=bool)]
+            median = float(np.median(off_diagonal))
+            gamma = 1.0 / median if median > 0 else 1.0
+        else:
+            gamma = self.gamma
+        self.gamma_ = gamma
+
+        affinity = np.exp(-gamma * squared)
+        np.fill_diagonal(affinity, 0.0)
+        degree = affinity.sum(axis=1)
+        degree[degree <= 0] = 1e-12
+        inv_sqrt_degree = 1.0 / np.sqrt(degree)
+        normalised = affinity * inv_sqrt_degree[:, None] * inv_sqrt_degree[None, :]
+
+        # Leading eigenvectors of the normalised affinity == smallest of the
+        # normalised Laplacian I - D^-1/2 W D^-1/2.
+        _, vectors = eigh(
+            normalised,
+            subset_by_index=[n_samples - self.n_clusters, n_samples - 1],
+        )
+        embedding = vectors[:, ::-1]
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        embedding = embedding / norms
+
+        kmeans = KMeans(
+            self.n_clusters, n_init=10, random_state=self.random_state
+        )
+        self.labels_ = kmeans.fit_predict(embedding)
+        self.embedding_ = embedding

@@ -1,0 +1,15 @@
+"""End-to-end public API of the self-learning local supervision framework."""
+
+from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
+from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline, PipelineResult
+
+__all__ = [
+    "FrameworkConfig",
+    "GRBM_PAPER_CONFIG",
+    "RBM_PAPER_CONFIG",
+    "SelfLearningEncodingFramework",
+    "EncodingResult",
+    "ClusteringPipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,115 @@
+"""Clustering pipeline: feature learner -> downstream clusterer -> metrics.
+
+The paper's evaluation compares nine algorithms per dataset, each of the form
+"<clusterer>" (raw data), "<clusterer>+<plain model>" or
+"<clusterer>+<sls model>".  ``ClusteringPipeline`` expresses one such cell:
+an optional encoding framework followed by a downstream clusterer, evaluated
+with the external metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.registry import make_clusterer
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.datasets.base import Dataset
+from repro.metrics.report import ClusteringReport, evaluate_clustering
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ClusteringPipeline", "PipelineResult"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one (dataset, algorithm) evaluation cell.
+
+    Attributes
+    ----------
+    algorithm : str
+        Human-readable name, e.g. ``"DP+slsGRBM"``.
+    dataset : str
+        Dataset abbreviation.
+    labels : ndarray
+        Predicted cluster assignment.
+    report : ClusteringReport
+        All external metrics against the ground truth.
+    """
+
+    algorithm: str
+    dataset: str
+    labels: np.ndarray
+    report: ClusteringReport
+
+
+class ClusteringPipeline:
+    """Evaluate one algorithm cell of the paper's tables.
+
+    Parameters
+    ----------
+    clusterer : str
+        Downstream clusterer short name ("dp", "kmeans", "ap", ...).
+    framework : SelfLearningEncodingFramework or None
+        Feature learner applied before clustering; ``None`` clusters the raw
+        (preprocessed by the clusterer itself) data, reproducing the "DP",
+        "K-means", "AP" baseline columns.
+    n_clusters : int
+        Number of clusters for the downstream algorithm.
+    random_state : int or None
+        Seed for the downstream clusterer.
+    """
+
+    def __init__(
+        self,
+        clusterer: str,
+        *,
+        framework: SelfLearningEncodingFramework | None = None,
+        n_clusters: int,
+        random_state: int | None = 0,
+    ) -> None:
+        self.clusterer_name = str(clusterer)
+        self.framework = framework
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.random_state = random_state
+
+    @property
+    def algorithm_name(self) -> str:
+        """Name in the paper's convention, e.g. ``"K-means+slsGRBM"``."""
+        base = {
+            "dp": "DP",
+            "density_peaks": "DP",
+            "kmeans": "K-means",
+            "k-means": "K-means",
+            "ap": "AP",
+            "affinity_propagation": "AP",
+        }.get(self.clusterer_name.lower(), self.clusterer_name)
+        if self.framework is None:
+            return base
+        model = {
+            "sls_grbm": "slsGRBM",
+            "sls_rbm": "slsRBM",
+            "grbm": "GRBM",
+            "rbm": "RBM",
+        }[self.framework.config.model]
+        return f"{base}+{model}"
+
+    def run(self, dataset: Dataset) -> PipelineResult:
+        """Fit (optionally) the framework, cluster, and evaluate on ``dataset``."""
+        if self.framework is None:
+            features = dataset.data
+        else:
+            features = self.framework.fit_transform(dataset.data)
+
+        clusterer = make_clusterer(
+            self.clusterer_name, self.n_clusters, random_state=self.random_state
+        )
+        labels = clusterer.fit_predict(features)
+        report = evaluate_clustering(dataset.labels, labels)
+        return PipelineResult(
+            algorithm=self.algorithm_name,
+            dataset=dataset.abbreviation,
+            labels=labels,
+            report=report,
+        )

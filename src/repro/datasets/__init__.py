@@ -1,0 +1,51 @@
+"""Dataset substrate.
+
+The paper evaluates on two suites:
+
+* **Datasets I** — nine MSRA-MM 2.0 web-image feature sets (3 classes each,
+  ~800-930 instances, 892/899 real-valued features).
+* **Datasets II** — six small UCI sets (Haberman, QSAR biodegradation, SPECT
+  Heart, Simulation Crashes, Breast Cancer Wisconsin, Iris).
+
+Neither suite is redistributable/downloadable in this offline environment, so
+this package ships *synthetic analogues* whose shape (instances, features,
+classes, class imbalance) and difficulty match the originals; see DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.datasets.base import Dataset, DatasetSuite
+from repro.datasets.msra_mm import (
+    MSRA_MM_SPECS,
+    load_msra_mm_dataset,
+    load_msra_mm_suite,
+)
+from repro.datasets.preprocessing import (
+    binarize,
+    median_binarize,
+    minmax_scale,
+    standardize,
+)
+from repro.datasets.synthetic import (
+    make_blobs,
+    make_high_dimensional_mixture,
+    make_overlapping_binary_clusters,
+)
+from repro.datasets.uci import UCI_SPECS, load_uci_dataset, load_uci_suite
+
+__all__ = [
+    "Dataset",
+    "DatasetSuite",
+    "make_blobs",
+    "make_high_dimensional_mixture",
+    "make_overlapping_binary_clusters",
+    "MSRA_MM_SPECS",
+    "load_msra_mm_dataset",
+    "load_msra_mm_suite",
+    "UCI_SPECS",
+    "load_uci_dataset",
+    "load_uci_suite",
+    "standardize",
+    "minmax_scale",
+    "binarize",
+    "median_binarize",
+]

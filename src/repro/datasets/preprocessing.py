@@ -1,0 +1,70 @@
+"""Feature preprocessing used before RBM training.
+
+* GRBM / slsGRBM expect zero-mean, unit-variance real-valued inputs (the
+  paper uses noise-free Gaussian linear visible units with unit variance).
+* RBM / slsRBM expect values in ``[0, 1]`` (interpreted as Bernoulli
+  probabilities); the UCI-like datasets are min-max scaled or binarised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+__all__ = ["standardize", "minmax_scale", "binarize", "median_binarize"]
+
+
+def standardize(data, *, epsilon: float = 1e-8) -> np.ndarray:
+    """Zero-mean, unit-variance scaling per feature.
+
+    Constant features (zero variance) are left centred at zero rather than
+    producing NaNs.
+    """
+    data = check_array(data, name="data")
+    mean = data.mean(axis=0, keepdims=True)
+    std = data.std(axis=0, keepdims=True)
+    std = np.where(std < epsilon, 1.0, std)
+    return (data - mean) / std
+
+
+def minmax_scale(data, *, feature_range: tuple[float, float] = (0.0, 1.0)) -> np.ndarray:
+    """Scale each feature linearly to ``feature_range``.
+
+    Constant features are mapped to the midpoint of the range.
+    """
+    low, high = feature_range
+    if high <= low:
+        raise ValueError(f"invalid feature_range {feature_range}")
+    data = check_array(data, name="data")
+    minimum = data.min(axis=0, keepdims=True)
+    maximum = data.max(axis=0, keepdims=True)
+    span = maximum - minimum
+    constant = span == 0
+    span = np.where(constant, 1.0, span)
+    scaled = (data - minimum) / span
+    scaled = np.where(constant, 0.5, scaled)
+    return low + scaled * (high - low)
+
+
+def binarize(data, *, threshold: float = 0.5) -> np.ndarray:
+    """Threshold values to ``{0, 1}`` (strictly greater than ``threshold``)."""
+    data = check_array(data, name="data")
+    return (data > threshold).astype(float)
+
+
+def median_binarize(data) -> np.ndarray:
+    """Binarise each feature against its own median.
+
+    This is the conventional way to turn heterogeneous UCI attributes into
+    Bernoulli visible units while keeping roughly balanced activation rates.
+    """
+    data = check_array(data, name="data")
+    medians = np.median(data, axis=0, keepdims=True)
+    return (data > medians).astype(float)
+
+
+def clip_unit_interval(data) -> np.ndarray:
+    """Clip values into ``[0, 1]`` (used for Bernoulli visible probabilities)."""
+    data = check_array(data, name="data")
+    return np.clip(data, 0.0, 1.0)

@@ -1,0 +1,207 @@
+"""Synthetic data generators.
+
+These generators produce the raw material for the MSRA-MM-like and UCI-like
+analogue suites.  Two regimes matter for the paper:
+
+* high-dimensional, weakly separable real-valued mixtures (datasets I): raw
+  K-means accuracy should land around 0.40-0.55 so that the representation
+  learned by a (sls)GRBM has room to help;
+* low-dimensional overlapping clusters suitable for binarisation
+  (datasets II) for the binary-visible slsRBM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "make_blobs",
+    "make_high_dimensional_mixture",
+    "make_overlapping_binary_clusters",
+]
+
+
+def _split_counts(n_samples: int, weights: np.ndarray) -> np.ndarray:
+    """Integer per-class counts summing exactly to ``n_samples``."""
+    counts = np.floor(weights * n_samples).astype(int)
+    remainder = n_samples - counts.sum()
+    # Distribute the remainder to the largest fractional parts.
+    fractions = weights * n_samples - counts
+    for index in np.argsort(fractions)[::-1][:remainder]:
+        counts[index] += 1
+    return counts
+
+
+def make_blobs(
+    n_samples: int,
+    n_features: int,
+    n_classes: int,
+    *,
+    cluster_std: float = 1.0,
+    center_spread: float = 5.0,
+    weights: np.ndarray | None = None,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs.
+
+    Parameters
+    ----------
+    cluster_std : float
+        Standard deviation of every blob.
+    center_spread : float
+        Blob centres are drawn from ``Uniform(-center_spread, center_spread)``.
+    weights : array-like of shape (n_classes,), optional
+        Relative class sizes (normalised internally); uniform by default.
+
+    Returns
+    -------
+    data : ndarray of shape (n_samples, n_features)
+    labels : ndarray of shape (n_samples,)
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_classes = check_positive_int(n_classes, name="n_classes")
+    rng = check_random_state(random_state)
+
+    if weights is None:
+        weights = np.full(n_classes, 1.0 / n_classes)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+    counts = _split_counts(n_samples, weights)
+
+    centers = rng.uniform(-center_spread, center_spread, size=(n_classes, n_features))
+    data_parts = []
+    label_parts = []
+    for class_id, count in enumerate(counts):
+        samples = centers[class_id] + cluster_std * rng.standard_normal(
+            (count, n_features)
+        )
+        data_parts.append(samples)
+        label_parts.append(np.full(count, class_id, dtype=int))
+    data = np.vstack(data_parts)
+    labels = np.concatenate(label_parts)
+
+    permutation = rng.permutation(n_samples)
+    return data[permutation], labels[permutation]
+
+
+def make_high_dimensional_mixture(
+    n_samples: int,
+    n_features: int,
+    n_classes: int,
+    *,
+    n_informative: int = 20,
+    separation: float = 2.2,
+    noise_std: float = 1.0,
+    correlated_noise: float = 0.4,
+    weights: np.ndarray | None = None,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weakly separable high-dimensional mixture (MSRA-MM analogue).
+
+    Class structure lives in a random ``n_informative``-dimensional subspace
+    which is embedded into ``n_features`` dimensions by a random linear map;
+    the remaining directions carry correlated noise.  Lowering ``separation``
+    or raising ``noise_std`` makes the raw-space clustering harder.
+
+    Returns
+    -------
+    data : ndarray of shape (n_samples, n_features)
+        Non-negative real-valued features (shifted to mimic visual descriptor
+        histograms).
+    labels : ndarray of shape (n_samples,)
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_classes = check_positive_int(n_classes, name="n_classes")
+    n_informative = min(check_positive_int(n_informative, name="n_informative"), n_features)
+    rng = check_random_state(random_state)
+
+    if weights is None:
+        weights = np.full(n_classes, 1.0 / n_classes)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+    counts = _split_counts(n_samples, weights)
+
+    # Latent class centres in the informative subspace.
+    latent_centers = separation * rng.standard_normal((n_classes, n_informative))
+    latent_parts = []
+    label_parts = []
+    for class_id, count in enumerate(counts):
+        latent = latent_centers[class_id] + rng.standard_normal((count, n_informative))
+        latent_parts.append(latent)
+        label_parts.append(np.full(count, class_id, dtype=int))
+    latent = np.vstack(latent_parts)
+    labels = np.concatenate(label_parts)
+
+    # Random embedding into the ambient space plus correlated noise.
+    embedding = rng.standard_normal((n_informative, n_features)) / np.sqrt(
+        n_informative
+    )
+    data = latent @ embedding
+    if correlated_noise > 0:
+        low_rank = rng.standard_normal((n_samples, 5)) @ rng.standard_normal(
+            (5, n_features)
+        )
+        data = data + correlated_noise * low_rank / np.sqrt(5)
+    data = data + noise_std * rng.standard_normal((n_samples, n_features))
+
+    # Histogram-like non-negativity: shift and softly rectify.
+    data = data - data.min(axis=0, keepdims=True)
+
+    permutation = rng.permutation(n_samples)
+    return data[permutation], labels[permutation]
+
+
+def make_overlapping_binary_clusters(
+    n_samples: int,
+    n_features: int,
+    n_classes: int,
+    *,
+    flip_probability: float = 0.15,
+    active_fraction: float = 0.4,
+    weights: np.ndarray | None = None,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary prototype clusters with bit-flip noise (UCI / slsRBM analogue).
+
+    Each class has a random binary prototype with ``active_fraction`` of the
+    bits set; samples copy the prototype and flip every bit independently with
+    ``flip_probability``.  Larger flip probabilities produce heavier overlap.
+
+    Returns
+    -------
+    data : ndarray of shape (n_samples, n_features) with values in {0, 1}
+    labels : ndarray of shape (n_samples,)
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_classes = check_positive_int(n_classes, name="n_classes")
+    rng = check_random_state(random_state)
+
+    if weights is None:
+        weights = np.full(n_classes, 1.0 / n_classes)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+    counts = _split_counts(n_samples, weights)
+
+    prototypes = (rng.random((n_classes, n_features)) < active_fraction).astype(float)
+    data_parts = []
+    label_parts = []
+    for class_id, count in enumerate(counts):
+        base = np.tile(prototypes[class_id], (count, 1))
+        flips = rng.random((count, n_features)) < flip_probability
+        samples = np.abs(base - flips.astype(float))
+        data_parts.append(samples)
+        label_parts.append(np.full(count, class_id, dtype=int))
+    data = np.vstack(data_parts)
+    labels = np.concatenate(label_parts)
+
+    permutation = rng.permutation(n_samples)
+    return data[permutation], labels[permutation]

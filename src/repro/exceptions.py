@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters fail validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative algorithm stops before converging."""
+
+
+class DatasetError(ReproError, KeyError):
+    """Raised when a requested dataset is unknown or malformed."""
+
+
+class SupervisionError(ReproError, ValueError):
+    """Raised when local supervisions cannot be constructed (e.g. no
+    instance survives unanimous voting)."""

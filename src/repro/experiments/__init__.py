@@ -1,0 +1,43 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+The evaluation grid of the paper is
+
+* datasets I (MSRA-MM 2.0 analogues) x {DP, K-means, AP} x {raw, +GRBM,
+  +slsGRBM} evaluated with accuracy (Table IV / Fig. 2), purity (Table V /
+  Fig. 3) and FMI (Table VI / Fig. 4), plus the averages of Fig. 5;
+* datasets II (UCI analogues) x {DP, K-means, AP} x {raw, +RBM, +slsRBM}
+  evaluated with accuracy (Table VII / Fig. 6), Rand index (Table VIII /
+  Fig. 7) and FMI (Table IX / Fig. 8), plus the averages of Fig. 9.
+"""
+
+from repro.experiments.ablation import (
+    run_clusterer_count_ablation,
+    run_eta_ablation,
+    run_voting_ablation,
+)
+from repro.experiments.figures import figure_average_bars, figure_series
+from repro.experiments.grids import (
+    DATASETS_I_ALGORITHMS,
+    DATASETS_II_ALGORITHMS,
+    build_algorithm,
+    build_algorithm_grid,
+)
+from repro.experiments.reporting import format_table, format_summary_table
+from repro.experiments.runner import ExperimentRunner, ExperimentTable, ExperimentCell
+
+__all__ = [
+    "DATASETS_I_ALGORITHMS",
+    "DATASETS_II_ALGORITHMS",
+    "build_algorithm",
+    "build_algorithm_grid",
+    "ExperimentRunner",
+    "ExperimentTable",
+    "ExperimentCell",
+    "figure_series",
+    "figure_average_bars",
+    "format_table",
+    "format_summary_table",
+    "run_eta_ablation",
+    "run_voting_ablation",
+    "run_clusterer_count_ablation",
+]

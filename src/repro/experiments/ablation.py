@@ -1,0 +1,109 @@
+"""Ablation studies on the framework's design choices.
+
+Not part of the paper's tables, but DESIGN.md calls out three design choices
+worth isolating:
+
+* the balance coefficient ``eta`` (Eq. 13);
+* unanimous vs. majority voting in the multi-clustering integration;
+* the number / diversity of base clusterers feeding the integration.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+from repro.metrics.report import evaluate_clustering
+
+__all__ = [
+    "run_eta_ablation",
+    "run_voting_ablation",
+    "run_clusterer_count_ablation",
+]
+
+
+def _evaluate(
+    dataset: Dataset, config: FrameworkConfig, *, clusterer: str = "kmeans"
+) -> dict[str, float]:
+    framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
+    pipeline = ClusteringPipeline(
+        clusterer,
+        framework=framework,
+        n_clusters=dataset.n_classes,
+        random_state=config.random_state,
+    )
+    return pipeline.run(dataset).report.as_dict()
+
+
+def run_eta_ablation(
+    dataset: Dataset,
+    *,
+    etas: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    base_config: FrameworkConfig,
+    clusterer: str = "kmeans",
+) -> dict[float, dict[str, float]]:
+    """Metric profile as a function of ``eta``.
+
+    Small ``eta`` emphasises the constrict/disperse supervision, large ``eta``
+    the likelihood term; the paper's operating points are 0.4-0.5.
+    """
+    if not base_config.uses_supervision:
+        raise ValidationError("the eta ablation requires an sls model configuration")
+    results = {}
+    for eta in etas:
+        config = base_config.with_overrides(eta=float(eta))
+        results[float(eta)] = _evaluate(dataset, config, clusterer=clusterer)
+    return results
+
+
+def run_voting_ablation(
+    dataset: Dataset,
+    *,
+    base_config: FrameworkConfig,
+    clusterer: str = "kmeans",
+) -> dict[str, dict[str, float]]:
+    """Unanimous vs. majority voting in the multi-clustering integration."""
+    if not base_config.uses_supervision:
+        raise ValidationError("the voting ablation requires an sls model configuration")
+    results = {}
+    for voting in ("unanimous", "majority"):
+        config = base_config.with_overrides(voting=voting)
+        results[voting] = _evaluate(dataset, config, clusterer=clusterer)
+    return results
+
+
+def run_clusterer_count_ablation(
+    dataset: Dataset,
+    *,
+    base_config: FrameworkConfig,
+    ensembles: tuple[tuple[str, ...], ...] = (
+        ("kmeans",),
+        ("dp", "kmeans"),
+        ("dp", "kmeans", "ap"),
+        ("dp", "kmeans", "ap", "agglomerative"),
+    ),
+    clusterer: str = "kmeans",
+) -> dict[str, dict[str, float]]:
+    """Effect of the size/diversity of the integration ensemble.
+
+    Returns a mapping from a "+"-joined ensemble name to the metric profile.
+    """
+    if not base_config.uses_supervision:
+        raise ValidationError(
+            "the clusterer-count ablation requires an sls model configuration"
+        )
+    results = {}
+    for ensemble in ensembles:
+        config = base_config.with_overrides(clusterers=tuple(ensemble))
+        results["+".join(ensemble)] = _evaluate(dataset, config, clusterer=clusterer)
+    return results
+
+
+def raw_baseline(dataset: Dataset, *, clusterer: str = "kmeans", random_state: int = 0):
+    """Metric profile of the raw-data baseline for the same downstream clusterer."""
+    pipeline = ClusteringPipeline(
+        clusterer, framework=None, n_clusters=dataset.n_classes, random_state=random_state
+    )
+    return pipeline.run(dataset).report.as_dict()

@@ -1,0 +1,117 @@
+"""The paper's reported results, used for paper-vs-measured comparisons.
+
+Per-dataset values are transcribed from Tables IV and VII (the accuracy
+tables); for the remaining tables (V, VI, VIII, IX) the column averages are
+recorded.  The reproduction is not expected to match these numbers —
+the datasets are synthetic analogues — but the *shape* (which algorithm wins,
+and by roughly how much) should agree; ``compare_shape`` checks exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PAPER_TABLE_IV_ACCURACY",
+    "PAPER_TABLE_V_PURITY_AVERAGES",
+    "PAPER_TABLE_VI_FMI_AVERAGES",
+    "PAPER_TABLE_VII_ACCURACY",
+    "PAPER_TABLE_VIII_RAND_AVERAGES",
+    "PAPER_TABLE_IX_FMI_AVERAGES",
+    "paper_average",
+    "compare_shape",
+]
+
+_ALGORITHMS_I = (
+    "DP", "K-means", "AP",
+    "DP+GRBM", "K-means+GRBM", "AP+GRBM",
+    "DP+slsGRBM", "K-means+slsGRBM", "AP+slsGRBM",
+)
+_ALGORITHMS_II = (
+    "DP", "K-means", "AP",
+    "DP+RBM", "K-means+RBM", "AP+RBM",
+    "DP+slsRBM", "K-means+slsRBM", "AP+slsRBM",
+)
+
+#: Table IV — accuracy on datasets I (rows: BO..VT; columns as _ALGORITHMS_I).
+PAPER_TABLE_IV_ACCURACY: dict[str, dict[str, float]] = {
+    "BO": dict(zip(_ALGORITHMS_I, (0.4275, 0.4007, 0.4230, 0.4219, 0.3527, 0.4275, 0.4743, 0.4275, 0.4319))),
+    "WA": dict(zip(_ALGORITHMS_I, (0.4544, 0.4176, 0.3905, 0.4360, 0.4273, 0.4024, 0.4837, 0.4826, 0.4826))),
+    "WR": dict(zip(_ALGORITHMS_I, (0.4147, 0.4058, 0.4048, 0.5162, 0.4047, 0.4158, 0.5326, 0.5017, 0.4872))),
+    "BC": dict(zip(_ALGORITHMS_I, (0.4453, 0.4979, 0.4753, 0.4742, 0.4796, 0.4882, 0.5472, 0.5461, 0.5054))),
+    "VE": dict(zip(_ALGORITHMS_I, (0.5011, 0.4041, 0.4243, 0.4874, 0.4266, 0.4232, 0.5057, 0.5034, 0.4977))),
+    "AM": dict(zip(_ALGORITHMS_I, (0.5667, 0.3935, 0.3968, 0.5548, 0.4968, 0.3581, 0.5699, 0.5570, 0.5570))),
+    "VI": dict(zip(_ALGORITHMS_I, (0.5232, 0.4731, 0.4318, 0.4493, 0.4581, 0.4631, 0.5782, 0.5294, 0.5457))),
+    "WP": dict(zip(_ALGORITHMS_I, (0.5016, 0.4266, 0.4342, 0.4723, 0.4211, 0.4690, 0.5365, 0.5626, 0.5647))),
+    "VT": dict(zip(_ALGORITHMS_I, (0.4664, 0.3788, 0.4027, 0.4676, 0.3697, 0.4232, 0.5165, 0.6189, 0.6223))),
+}
+
+#: Table V — purity on datasets I, average row only.
+PAPER_TABLE_V_PURITY_AVERAGES: dict[str, float] = dict(
+    zip(_ALGORITHMS_I, (0.8323, 0.8154, 0.8229, 0.8330, 0.8175, 0.8223, 0.8603, 0.8523, 0.8549))
+)
+
+#: Table VI — Fowlkes-Mallows index on datasets I, average row only.
+PAPER_TABLE_VI_FMI_AVERAGES: dict[str, float] = dict(
+    zip(_ALGORITHMS_I, (0.4928, 0.4160, 0.4170, 0.4891, 0.4184, 0.4224, 0.5227, 0.5306, 0.5253))
+)
+
+#: Table VII — accuracy on datasets II (rows: HS..IR; columns as _ALGORITHMS_II).
+PAPER_TABLE_VII_ACCURACY: dict[str, dict[str, float]] = {
+    "HS": dict(zip(_ALGORITHMS_II, (0.5719, 0.5163, 0.5169, 0.5229, 0.5686, 0.5588, 0.6174, 0.6144, 0.5980))),
+    "QB": dict(zip(_ALGORITHMS_II, (0.5592, 0.5886, 0.5640, 0.6142, 0.5782, 0.5678, 0.6218, 0.6028, 0.6104))),
+    "SH": dict(zip(_ALGORITHMS_II, (0.6180, 0.5356, 0.5543, 0.5506, 0.5318, 0.5243, 0.7715, 0.5730, 0.5730))),
+    "SC": dict(zip(_ALGORITHMS_II, (0.6259, 0.5315, 0.5315, 0.8056, 0.5556, 0.5481, 0.8111, 0.5741, 0.5963))),
+    "BCW": dict(zip(_ALGORITHMS_II, (0.7909, 0.8541, 0.8541, 0.6362, 0.6309, 0.6309, 0.8524, 0.8682, 0.8664))),
+    "IR": dict(zip(_ALGORITHMS_II, (0.9067, 0.8933, 0.8867, 0.8333, 0.8333, 0.8200, 0.9800, 0.9667, 0.9467))),
+}
+
+#: Table VIII — Rand index on datasets II, average row only.
+PAPER_TABLE_VIII_RAND_AVERAGES: dict[str, float] = dict(
+    zip(_ALGORITHMS_II, (0.6055, 0.6077, 0.6060, 0.5972, 0.5648, 0.5620, 0.6861, 0.6321, 0.6284))
+)
+
+#: Table IX — Fowlkes-Mallows index on datasets II, average row only.
+PAPER_TABLE_IX_FMI_AVERAGES: dict[str, float] = dict(
+    zip(_ALGORITHMS_II, (0.6770, 0.6664, 0.6638, 0.6597, 0.6351, 0.6338, 0.7757, 0.7132, 0.7062))
+)
+
+
+def paper_average(table: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Column averages of a per-dataset paper table."""
+    algorithms = list(next(iter(table.values())))
+    return {
+        algorithm: float(np.mean([row[algorithm] for row in table.values()]))
+        for algorithm in algorithms
+    }
+
+
+def compare_shape(
+    measured_averages: dict[str, float],
+    paper_averages: dict[str, float],
+    *,
+    base_clusterers: tuple[str, ...] = ("DP", "K-means", "AP"),
+) -> dict[str, dict[str, bool]]:
+    """Check the qualitative claims of the paper on measured averages.
+
+    For each base clusterer ``X`` with model suffix ``M`` (GRBM or RBM), the
+    paper's claims are
+
+    * ``X+slsM > X+M``  (the supervision helps over the plain model), and
+    * ``X+slsM > X``    (the learned features beat the raw data).
+
+    Returns, per base clusterer, whether each claim holds in the measured
+    averages and whether it holds in the paper's averages (it always should).
+    """
+    suffix = "GRBM" if any("GRBM" in key for key in paper_averages) else "RBM"
+    outcome: dict[str, dict[str, bool]] = {}
+    for base in base_clusterers:
+        sls_name = f"{base}+sls{suffix}"
+        plain_name = f"{base}+{suffix}"
+        outcome[base] = {
+            "sls_beats_plain_measured": measured_averages[sls_name] > measured_averages[plain_name],
+            "sls_beats_raw_measured": measured_averages[sls_name] > measured_averages[base],
+            "sls_beats_plain_paper": paper_averages[sls_name] > paper_averages[plain_name],
+            "sls_beats_raw_paper": paper_averages[sls_name] > paper_averages[base],
+        }
+    return outcome

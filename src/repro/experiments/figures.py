@@ -1,0 +1,70 @@
+"""Figure data extraction.
+
+The paper's figures are visualisations of the table data:
+
+* Figs. 2-4 (datasets I) and Figs. 6-8 (datasets II) plot, for each base
+  clusterer, the per-dataset metric series of the raw, +plain-model and
+  +sls-model variants — :func:`figure_series` returns exactly those series.
+* Figs. 5 and 9 plot the per-algorithm averages over the suite —
+  :func:`figure_average_bars` returns those bar heights.
+
+The benchmark harness prints these structures; no plotting library is
+required (none is available offline).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.experiments.runner import ExperimentTable
+
+__all__ = ["figure_series", "figure_average_bars"]
+
+_BASE_CLUSTERERS = ("DP", "K-means", "AP")
+
+
+def figure_series(
+    table: ExperimentTable, metric: str, *, model_suffix: str
+) -> dict[str, dict[str, list[float]]]:
+    """Per-dataset metric series grouped by base clusterer.
+
+    Parameters
+    ----------
+    table : ExperimentTable
+        Result of an :class:`ExperimentRunner` run.
+    metric : str
+        Metric to plot ("accuracy", "purity", "rand", "fmi", ...).
+    model_suffix : {"GRBM", "RBM"}
+        Which model family the table used; determines the three lines per
+        panel (e.g. ``DP``, ``DP+GRBM``, ``DP+slsGRBM``).
+
+    Returns
+    -------
+    dict
+        ``{base_clusterer: {algorithm_name: [value per dataset]}}`` — one
+        panel per base clusterer with three series each, exactly the layout
+        of Figs. 2-4 and 6-8.
+    """
+    if model_suffix not in ("GRBM", "RBM"):
+        raise ValidationError(
+            f"model_suffix must be 'GRBM' or 'RBM', got {model_suffix!r}"
+        )
+    panels: dict[str, dict[str, list[float]]] = {}
+    for base in _BASE_CLUSTERERS:
+        algorithms = (base, f"{base}+{model_suffix}", f"{base}+sls{model_suffix}")
+        panels[base] = {
+            algorithm: table.dataset_series(metric, algorithm)
+            for algorithm in algorithms
+            if algorithm in table.algorithm_order
+        }
+    return panels
+
+
+def figure_average_bars(
+    table: ExperimentTable, metrics: tuple[str, ...]
+) -> dict[str, dict[str, float]]:
+    """Average metric per algorithm (the bar heights of Fig. 5 / Fig. 9).
+
+    Returns ``{metric: {algorithm: average value}}`` with algorithms in the
+    table's column order.
+    """
+    return {metric: table.column_averages(metric) for metric in metrics}

@@ -1,0 +1,152 @@
+"""Algorithm grids of the paper's evaluation.
+
+Each table compares nine algorithms per dataset: three raw clusterers, the
+same three on plain RBM/GRBM features and the same three on slsRBM/slsGRBM
+features.  ``build_algorithm`` creates one such cell as a
+:class:`repro.core.pipeline.ClusteringPipeline`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DATASETS_I_ALGORITHMS",
+    "DATASETS_II_ALGORITHMS",
+    "build_algorithm",
+    "build_algorithm_grid",
+]
+
+#: Column order of Tables IV-VI (datasets I, GRBM family).
+DATASETS_I_ALGORITHMS: tuple[str, ...] = (
+    "DP",
+    "K-means",
+    "AP",
+    "DP+GRBM",
+    "K-means+GRBM",
+    "AP+GRBM",
+    "DP+slsGRBM",
+    "K-means+slsGRBM",
+    "AP+slsGRBM",
+)
+
+#: Column order of Tables VII-IX (datasets II, RBM family).
+DATASETS_II_ALGORITHMS: tuple[str, ...] = (
+    "DP",
+    "K-means",
+    "AP",
+    "DP+RBM",
+    "K-means+RBM",
+    "AP+RBM",
+    "DP+slsRBM",
+    "K-means+slsRBM",
+    "AP+slsRBM",
+)
+
+_CLUSTERER_KEYS = {"DP": "dp", "K-means": "kmeans", "AP": "ap"}
+_MODEL_KEYS = {
+    "GRBM": "grbm",
+    "slsGRBM": "sls_grbm",
+    "RBM": "rbm",
+    "slsRBM": "sls_rbm",
+}
+_MODEL_PREPROCESSING = {
+    "grbm": "standardize",
+    "sls_grbm": "standardize",
+    "rbm": "median_binarize",
+    "sls_rbm": "median_binarize",
+}
+#: The base clusterers that build the supervision see real-valued data even
+#: when the model itself trains on binarised input (see FrameworkConfig).
+_MODEL_SUPERVISION_PREPROCESSING = {
+    "sls_grbm": "standardize",
+    "sls_rbm": "standardize",
+}
+_MODEL_ETA = {"sls_grbm": 0.4, "sls_rbm": 0.5}
+_MODEL_LEARNING_RATE = {
+    "grbm": 1e-4,
+    "sls_grbm": 1e-4,
+    "rbm": 1e-3,
+    "sls_rbm": 1e-3,
+}
+
+
+def build_algorithm(
+    name: str,
+    n_clusters: int,
+    *,
+    n_hidden: int = 64,
+    n_epochs: int = 30,
+    batch_size: int = 64,
+    random_state: int | None = 0,
+    config_overrides: dict | None = None,
+) -> ClusteringPipeline:
+    """Instantiate one algorithm cell from its table name (e.g. "DP+slsGRBM").
+
+    Parameters
+    ----------
+    name : str
+        One of the entries of :data:`DATASETS_I_ALGORITHMS` /
+        :data:`DATASETS_II_ALGORITHMS`.
+    n_clusters : int
+        Number of clusters (the ground-truth class count of the dataset).
+    n_hidden, n_epochs, batch_size : int
+        Model size / training schedule shared by all RBM-based cells.
+    random_state : int or None
+    config_overrides : dict, optional
+        Extra :class:`FrameworkConfig` fields (e.g. ``{"eta": 0.3}``) applied
+        on top of the per-model defaults; used by the ablation studies.
+    """
+    parts = name.split("+")
+    clusterer_label = parts[0]
+    if clusterer_label not in _CLUSTERER_KEYS:
+        raise ValidationError(
+            f"unknown clusterer {clusterer_label!r} in algorithm name {name!r}"
+        )
+    clusterer_key = _CLUSTERER_KEYS[clusterer_label]
+
+    if len(parts) == 1:
+        return ClusteringPipeline(
+            clusterer_key, framework=None, n_clusters=n_clusters, random_state=random_state
+        )
+    if len(parts) != 2 or parts[1] not in _MODEL_KEYS:
+        raise ValidationError(f"unknown algorithm name {name!r}")
+
+    model_key = _MODEL_KEYS[parts[1]]
+    config_kwargs = dict(
+        model=model_key,
+        n_hidden=n_hidden,
+        learning_rate=_MODEL_LEARNING_RATE[model_key],
+        n_epochs=n_epochs,
+        batch_size=batch_size,
+        preprocessing=_MODEL_PREPROCESSING[model_key],
+        random_state=random_state,
+    )
+    if model_key in _MODEL_ETA:
+        config_kwargs["eta"] = _MODEL_ETA[model_key]
+    if model_key in _MODEL_SUPERVISION_PREPROCESSING:
+        config_kwargs["supervision_preprocessing"] = _MODEL_SUPERVISION_PREPROCESSING[
+            model_key
+        ]
+    if config_overrides:
+        config_kwargs.update(config_overrides)
+    config = FrameworkConfig(**config_kwargs)
+    framework = SelfLearningEncodingFramework(config, n_clusters=n_clusters)
+    return ClusteringPipeline(
+        clusterer_key,
+        framework=framework,
+        n_clusters=n_clusters,
+        random_state=random_state,
+    )
+
+
+def build_algorithm_grid(
+    names: tuple[str, ...],
+    n_clusters: int,
+    **kwargs,
+) -> dict[str, ClusteringPipeline]:
+    """Build every algorithm of a table column set; see :func:`build_algorithm`."""
+    return {name: build_algorithm(name, n_clusters, **kwargs) for name in names}

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment tables (paper-style rows)."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentTable
+
+__all__ = ["format_table", "format_summary_table"]
+
+
+def format_table(
+    table: ExperimentTable,
+    metric: str,
+    *,
+    title: str | None = None,
+    precision: int = 4,
+    show_variance: bool = False,
+) -> str:
+    """Render one metric of an :class:`ExperimentTable` as aligned text.
+
+    The layout mirrors the paper's tables: one row per dataset, one column
+    per algorithm, and a final "Average" row.
+    """
+    header = ["Dataset"] + table.algorithm_order
+    rows: list[list[str]] = []
+    for dataset in table.dataset_order:
+        row = [dataset]
+        for algorithm in table.algorithm_order:
+            cell = table.cell(dataset, algorithm)
+            value = f"{cell.value(metric):.{precision}f}"
+            if show_variance:
+                value += f"±{cell.variance[metric]:.{precision}f}"
+            row.append(value)
+        rows.append(row)
+    averages = table.column_averages(metric)
+    rows.append(
+        ["Average"] + [f"{averages[a]:.{precision}f}" for a in table.algorithm_order]
+    )
+
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows)) for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_summary_table(
+    averages: dict[str, dict[str, float]], *, title: str | None = None, precision: int = 4
+) -> str:
+    """Render per-algorithm averages (Fig. 5 / Fig. 9 data) as aligned text."""
+    metrics = list(averages)
+    algorithms = list(next(iter(averages.values())))
+    header = ["Algorithm"] + metrics
+    rows = [
+        [algorithm] + [f"{averages[m][algorithm]:.{precision}f}" for m in metrics]
+        for algorithm in algorithms
+    ]
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows)) for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

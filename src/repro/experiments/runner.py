@@ -1,0 +1,196 @@
+"""Experiment runner producing the paper's result tables.
+
+``ExperimentRunner`` evaluates an algorithm grid over a dataset suite, with
+optional repetitions to report the mean and variance of stochastic cells
+(the +-variance columns of Tables IV and VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset, DatasetSuite
+from repro.exceptions import ValidationError
+from repro.experiments.grids import build_algorithm
+from repro.metrics.report import ClusteringReport
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ExperimentCell", "ExperimentTable", "ExperimentRunner"]
+
+_METRIC_NAMES = ("accuracy", "purity", "rand", "adjusted_rand", "fmi", "nmi")
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """Aggregated result of one (dataset, algorithm) cell over repeats.
+
+    ``mean`` and ``variance`` are dictionaries keyed by metric name.
+    """
+
+    dataset: str
+    algorithm: str
+    mean: dict[str, float]
+    variance: dict[str, float]
+    n_repeats: int
+    reports: tuple[ClusteringReport, ...] = field(default=(), repr=False)
+
+    def value(self, metric: str) -> float:
+        """Mean value of ``metric`` for this cell."""
+        if metric not in self.mean:
+            raise ValidationError(
+                f"unknown metric {metric!r}; available: {sorted(self.mean)}"
+            )
+        return self.mean[metric]
+
+
+class ExperimentTable:
+    """Dataset-by-algorithm grid of :class:`ExperimentCell` results."""
+
+    def __init__(
+        self,
+        name: str,
+        dataset_order: list[str],
+        algorithm_order: list[str],
+    ) -> None:
+        self.name = name
+        self.dataset_order = list(dataset_order)
+        self.algorithm_order = list(algorithm_order)
+        self._cells: dict[tuple[str, str], ExperimentCell] = {}
+
+    def add(self, cell: ExperimentCell) -> None:
+        self._cells[(cell.dataset, cell.algorithm)] = cell
+
+    def cell(self, dataset: str, algorithm: str) -> ExperimentCell:
+        try:
+            return self._cells[(dataset, algorithm)]
+        except KeyError:
+            raise ValidationError(
+                f"no result for dataset {dataset!r} and algorithm {algorithm!r}"
+            ) from None
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._cells
+
+    def metric_matrix(self, metric: str) -> np.ndarray:
+        """Matrix of mean metric values, rows = datasets, columns = algorithms."""
+        matrix = np.full((len(self.dataset_order), len(self.algorithm_order)), np.nan)
+        for i, dataset in enumerate(self.dataset_order):
+            for j, algorithm in enumerate(self.algorithm_order):
+                if (dataset, algorithm) in self._cells:
+                    matrix[i, j] = self.cell(dataset, algorithm).value(metric)
+        return matrix
+
+    def rows(self, metric: str) -> list[dict[str, float | str]]:
+        """Table rows in the paper's layout: one row per dataset plus averages."""
+        rows = []
+        for dataset in self.dataset_order:
+            row: dict[str, float | str] = {"dataset": dataset}
+            for algorithm in self.algorithm_order:
+                row[algorithm] = self.cell(dataset, algorithm).value(metric)
+            rows.append(row)
+        averages = self.column_averages(metric)
+        rows.append({"dataset": "Average", **averages})
+        return rows
+
+    def column_averages(self, metric: str) -> dict[str, float]:
+        """Average metric per algorithm over all datasets (the tables' last row)."""
+        matrix = self.metric_matrix(metric)
+        return {
+            algorithm: float(np.nanmean(matrix[:, j]))
+            for j, algorithm in enumerate(self.algorithm_order)
+        }
+
+    def dataset_series(self, metric: str, algorithm: str) -> list[float]:
+        """Per-dataset series for one algorithm (one line of Figs. 2-4 / 6-8)."""
+        return [self.cell(dataset, algorithm).value(metric) for dataset in self.dataset_order]
+
+
+class ExperimentRunner:
+    """Run an algorithm grid over a dataset suite.
+
+    Parameters
+    ----------
+    algorithm_names : tuple of str
+        Column names (paper convention, e.g. ``"DP+slsGRBM"``).
+    n_repeats : int, default 1
+        Repetitions per stochastic cell (different seeds); deterministic
+        cells (DP on raw data) are still repeated for uniformity.
+    n_hidden, n_epochs, batch_size : int
+        Shared model settings forwarded to :func:`build_algorithm`.
+    random_state : int, default 0
+        Base seed; repeat ``r`` uses ``random_state + r``.
+    config_overrides : dict, optional
+        Forwarded to :func:`build_algorithm` (ablation hook).
+    """
+
+    def __init__(
+        self,
+        algorithm_names: tuple[str, ...],
+        *,
+        n_repeats: int = 1,
+        n_hidden: int = 64,
+        n_epochs: int = 30,
+        batch_size: int = 64,
+        random_state: int = 0,
+        config_overrides: dict | None = None,
+    ) -> None:
+        if not algorithm_names:
+            raise ValidationError("algorithm_names must not be empty")
+        self.algorithm_names = tuple(algorithm_names)
+        self.n_repeats = check_positive_int(n_repeats, name="n_repeats")
+        self.n_hidden = check_positive_int(n_hidden, name="n_hidden")
+        self.n_epochs = check_positive_int(n_epochs, name="n_epochs")
+        self.batch_size = check_positive_int(batch_size, name="batch_size")
+        self.random_state = int(random_state)
+        self.config_overrides = dict(config_overrides or {})
+
+    # --------------------------------------------------------------------- API
+    def run_cell(self, dataset: Dataset, algorithm: str) -> ExperimentCell:
+        """Evaluate one (dataset, algorithm) cell with repeats."""
+        reports: list[ClusteringReport] = []
+        for repeat in range(self.n_repeats):
+            pipeline = build_algorithm(
+                algorithm,
+                dataset.n_classes,
+                n_hidden=self.n_hidden,
+                n_epochs=self.n_epochs,
+                batch_size=self.batch_size,
+                random_state=self.random_state + repeat,
+                config_overrides=self.config_overrides or None,
+            )
+            reports.append(pipeline.run(dataset).report)
+
+        mean = {
+            metric: float(np.mean([r[metric] for r in reports]))
+            for metric in _METRIC_NAMES
+        }
+        variance = {
+            metric: float(np.var([r[metric] for r in reports]))
+            for metric in _METRIC_NAMES
+        }
+        return ExperimentCell(
+            dataset=dataset.abbreviation,
+            algorithm=algorithm,
+            mean=mean,
+            variance=variance,
+            n_repeats=self.n_repeats,
+            reports=tuple(reports),
+        )
+
+    def run_dataset(self, dataset: Dataset) -> list[ExperimentCell]:
+        """Evaluate every algorithm of the grid on one dataset."""
+        return [self.run_cell(dataset, algorithm) for algorithm in self.algorithm_names]
+
+    def run_suite(self, suite: DatasetSuite, *, name: str | None = None) -> ExperimentTable:
+        """Evaluate the whole grid over a dataset suite."""
+        table = ExperimentTable(
+            name or suite.name,
+            dataset_order=suite.abbreviations,
+            algorithm_order=list(self.algorithm_names),
+        )
+        for dataset in suite:
+            for cell in self.run_dataset(dataset):
+                table.add(cell)
+        return table

@@ -1,0 +1,29 @@
+"""External clustering evaluation metrics used in the paper's evaluation.
+
+The paper evaluates datasets I (MSRA-MM-like) with clustering accuracy,
+purity and the Fowlkes–Mallows index, and datasets II (UCI-like) with
+accuracy, the Rand index and the Fowlkes–Mallows index.  Adjusted Rand index
+and normalised mutual information are provided as extra diagnostics.
+"""
+
+from repro.metrics.accuracy import clustering_accuracy, best_label_mapping
+from repro.metrics.contingency import contingency_matrix, pair_confusion_matrix
+from repro.metrics.fmi import fowlkes_mallows_index
+from repro.metrics.nmi import normalized_mutual_information
+from repro.metrics.purity import purity_score
+from repro.metrics.rand import adjusted_rand_index, rand_index
+from repro.metrics.report import ClusteringReport, evaluate_clustering
+
+__all__ = [
+    "clustering_accuracy",
+    "best_label_mapping",
+    "purity_score",
+    "rand_index",
+    "adjusted_rand_index",
+    "fowlkes_mallows_index",
+    "normalized_mutual_information",
+    "contingency_matrix",
+    "pair_confusion_matrix",
+    "ClusteringReport",
+    "evaluate_clustering",
+]

@@ -1,0 +1,70 @@
+"""Contingency tables shared by the external clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_labels, check_same_length
+
+__all__ = ["contingency_matrix", "pair_confusion_matrix", "relabel_consecutive"]
+
+
+def relabel_consecutive(labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary integer labels to consecutive ``0..k-1`` codes.
+
+    Returns
+    -------
+    codes : ndarray of shape (n,)
+        Relabelled vector.
+    uniques : ndarray of shape (k,)
+        Original label value for each code.
+    """
+    labels = check_labels(labels, name="labels")
+    uniques, codes = np.unique(labels, return_inverse=True)
+    return codes, uniques
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table ``C[i, j]`` counting samples with true class ``i``
+    assigned to predicted cluster ``j``.
+
+    Both label vectors may use arbitrary integer identifiers; rows and columns
+    follow the sorted unique values of each vector.
+    """
+    labels_true = check_labels(labels_true, name="labels_true")
+    labels_pred = check_labels(labels_pred, name="labels_pred")
+    check_same_length(labels_true, labels_pred, names=("labels_true", "labels_pred"))
+
+    true_codes, true_uniques = relabel_consecutive(labels_true)
+    pred_codes, pred_uniques = relabel_consecutive(labels_pred)
+    n_true = true_uniques.shape[0]
+    n_pred = pred_uniques.shape[0]
+
+    table = np.zeros((n_true, n_pred), dtype=np.int64)
+    np.add.at(table, (true_codes, pred_codes), 1)
+    return table
+
+
+def pair_confusion_matrix(labels_true, labels_pred) -> np.ndarray:
+    """2x2 pair confusion matrix ``[[N_dd, N_ds], [N_sd, N_ss]]``.
+
+    Counts unordered pairs of samples that are placed in the same / different
+    groups by the true labelling (rows) and the predicted clustering
+    (columns).  ``N_ss`` (both same) corresponds to true positives, ``N_dd``
+    to true negatives.
+    """
+    table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    sum_squares = (table**2).sum()
+    row_sums = table.sum(axis=1)
+    col_sums = table.sum(axis=0)
+
+    same_same = 0.5 * (sum_squares - n)
+    same_diff = 0.5 * ((row_sums**2).sum() - sum_squares)
+    diff_same = 0.5 * ((col_sums**2).sum() - sum_squares)
+    total_pairs = n * (n - 1) / 2.0
+    diff_diff = total_pairs - same_same - same_diff - diff_same
+
+    return np.array(
+        [[diff_diff, diff_same], [same_diff, same_same]], dtype=np.float64
+    )

@@ -1,0 +1,28 @@
+"""Fowlkes–Mallows index (Eq. 39 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.contingency import pair_confusion_matrix
+
+__all__ = ["fowlkes_mallows_index"]
+
+
+def fowlkes_mallows_index(labels_true, labels_pred) -> float:
+    """Fowlkes–Mallows index ``sqrt(TP/(TP+FP) * TP/(TP+FN))`` in ``[0, 1]``.
+
+    ``TP`` counts sample pairs grouped together by both partitions, ``FP``
+    pairs grouped only by the prediction and ``FN`` pairs grouped only by the
+    ground truth.  Returns 0 when the prediction produces no co-clustered
+    pair at all.
+    """
+    pairs = pair_confusion_matrix(labels_true, labels_pred)
+    tp = pairs[1, 1]
+    fn = pairs[1, 0]
+    fp = pairs[0, 1]
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(np.sqrt(precision * recall))

@@ -1,0 +1,46 @@
+"""Normalised mutual information (extra diagnostic, not in the paper's tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.contingency import contingency_matrix
+
+__all__ = ["normalized_mutual_information"]
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """NMI with arithmetic-mean normalisation, in ``[0, 1]``.
+
+    Returns 1.0 when both partitions are identical single-cluster partitions
+    (the degenerate case where both entropies are zero).
+    """
+    table = contingency_matrix(labels_true, labels_pred).astype(float)
+    n = table.sum()
+    joint = table / n
+    row_marginal = joint.sum(axis=1, keepdims=True)
+    col_marginal = joint.sum(axis=0, keepdims=True)
+
+    mask = joint > 0
+    mutual_information = float(
+        np.sum(
+            joint[mask]
+            * (np.log(joint[mask]) - np.log((row_marginal @ col_marginal)[mask]))
+        )
+    )
+
+    h_true = _entropy(table.sum(axis=1))
+    h_pred = _entropy(table.sum(axis=0))
+    normaliser = 0.5 * (h_true + h_pred)
+    if normaliser == 0.0:
+        return 1.0
+    return float(np.clip(mutual_information / normaliser, 0.0, 1.0))

@@ -1,0 +1,21 @@
+"""Cluster purity (Eq. 38 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.contingency import contingency_matrix
+
+__all__ = ["purity_score"]
+
+
+def purity_score(labels_true, labels_pred) -> float:
+    """Purity of a clustering with respect to ground-truth classes.
+
+    Each cluster is credited with its majority class; purity is the fraction
+    of all samples that belong to the majority class of their cluster.  The
+    value lies in ``(0, 1]`` and equals 1 when every cluster is pure.
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    n = table.sum()
+    return float(table.max(axis=0).sum() / n)

@@ -1,0 +1,34 @@
+"""Rand index (Eq. 37 of the paper) and adjusted Rand index."""
+
+from __future__ import annotations
+
+from repro.metrics.contingency import pair_confusion_matrix
+
+__all__ = ["rand_index", "adjusted_rand_index"]
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Rand index in ``[0, 1]``.
+
+    ``(N_ss + N_dd) / (N_ss + N_sd + N_ds + N_dd)`` where the four counts are
+    the pair-level agreements/disagreements between the two partitions.
+    """
+    pairs = pair_confusion_matrix(labels_true, labels_pred)
+    total = pairs.sum()
+    if total == 0:  # single sample: the two trivial partitions agree
+        return 1.0
+    agreements = pairs[0, 0] + pairs[1, 1]
+    return float(agreements / total)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index (chance-corrected), in ``[-1, 1]``."""
+    pairs = pair_confusion_matrix(labels_true, labels_pred)
+    tn, fp = pairs[0, 0], pairs[0, 1]
+    fn, tp = pairs[1, 0], pairs[1, 1]
+    numerator = 2.0 * (tp * tn - fn * fp)
+    denominator = (tp + fn) * (fn + tn) + (tp + fp) * (fp + tn)
+    if denominator == 0:
+        # Both partitions are identical trivial partitions.
+        return 1.0
+    return float(numerator / denominator)

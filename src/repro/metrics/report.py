@@ -1,0 +1,68 @@
+"""Aggregate evaluation report combining every external metric.
+
+The experiment harness evaluates each (dataset, algorithm) cell of the
+paper's tables with all metrics at once; this module provides the small value
+object used for that purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.accuracy import clustering_accuracy
+from repro.metrics.fmi import fowlkes_mallows_index
+from repro.metrics.nmi import normalized_mutual_information
+from repro.metrics.purity import purity_score
+from repro.metrics.rand import adjusted_rand_index, rand_index
+
+__all__ = ["ClusteringReport", "evaluate_clustering"]
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """All external metrics for one clustering result.
+
+    Attributes mirror the metric names used throughout the paper's tables.
+    """
+
+    accuracy: float
+    purity: float
+    rand: float
+    adjusted_rand: float
+    fmi: float
+    nmi: float
+    n_samples: int
+    n_clusters: int
+    extras: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary of the metric values (without metadata)."""
+        return {
+            "accuracy": self.accuracy,
+            "purity": self.purity,
+            "rand": self.rand,
+            "adjusted_rand": self.adjusted_rand,
+            "fmi": self.fmi,
+            "nmi": self.nmi,
+        }
+
+    def __getitem__(self, key: str) -> float:
+        return self.as_dict()[key]
+
+
+def evaluate_clustering(labels_true, labels_pred) -> ClusteringReport:
+    """Compute every external metric for a predicted clustering."""
+    labels_true = np.asarray(labels_true)
+    labels_pred = np.asarray(labels_pred)
+    return ClusteringReport(
+        accuracy=clustering_accuracy(labels_true, labels_pred),
+        purity=purity_score(labels_true, labels_pred),
+        rand=rand_index(labels_true, labels_pred),
+        adjusted_rand=adjusted_rand_index(labels_true, labels_pred),
+        fmi=fowlkes_mallows_index(labels_true, labels_pred),
+        nmi=normalized_mutual_information(labels_true, labels_pred),
+        n_samples=int(labels_true.shape[0]),
+        n_clusters=int(np.unique(labels_pred).shape[0]),
+    )

@@ -1,0 +1,47 @@
+"""Restricted Boltzmann machines and the self-learning local supervision models.
+
+Contents
+--------
+* :class:`BernoulliRBM` — classical binary-binary RBM trained with CD-k
+  (the "RBM" baseline of the paper).
+* :class:`GaussianRBM` — Gaussian linear visible units, binary hidden units
+  (the "GRBM" baseline).
+* :class:`SlsRBM` / :class:`SlsGRBM` — the paper's contribution: the CD update
+  is augmented with the analytic gradient of the constrict/disperse loss
+  computed over the self-learning local supervisions (Eq. 27-35).
+* :mod:`repro.rbm.objective` / :mod:`repro.rbm.gradients` — the loss
+  ``L_data`` / ``L_recon`` of Eq. 14-15 and its exact gradients.
+* :class:`RBMTrainer` — epoch/minibatch training driver with history
+  recording.
+"""
+
+from repro.rbm.base import BaseRBM, CDStatistics
+from repro.rbm.gradients import constrict_disperse_gradient, SupervisionGradients
+from repro.rbm.grbm import GaussianRBM
+from repro.rbm.objective import (
+    constrict_disperse_loss,
+    constrict_loss,
+    disperse_loss,
+    sls_objective,
+)
+from repro.rbm.rbm import BernoulliRBM
+from repro.rbm.sls_grbm import SlsGRBM
+from repro.rbm.sls_rbm import SlsRBM
+from repro.rbm.trainer import RBMTrainer, TrainingHistory
+
+__all__ = [
+    "BaseRBM",
+    "CDStatistics",
+    "BernoulliRBM",
+    "GaussianRBM",
+    "SlsRBM",
+    "SlsGRBM",
+    "constrict_loss",
+    "disperse_loss",
+    "constrict_disperse_loss",
+    "sls_objective",
+    "constrict_disperse_gradient",
+    "SupervisionGradients",
+    "RBMTrainer",
+    "TrainingHistory",
+]

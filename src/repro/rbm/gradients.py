@@ -1,0 +1,254 @@
+"""Analytic gradients of the constrict/disperse loss (Eq. 27-32).
+
+The paper derives, for the hidden features ``h_s = sigmoid(b + v_s W)`` of a
+visible matrix and local clusters ``H_1..H_K``,
+
+    dL/dw_ij = (2/N_h) sum_k sum_{s,t in H_k} (h_sj - h_tj)
+                   [h_sj (1-h_sj) v_si - h_tj (1-h_tj) v_ti]
+             - (2/N_C) sum_{p<q} (C_pj - C_qj)
+                   [C_pj (1-C_pj) O_pi - C_qj (1-C_qj) O_qi]          (Eq. 27)
+
+    dL/db_j  = (2/N_h) sum_k sum_{s,t in H_k} (h_sj - h_tj)
+                   [h_sj (1-h_sj) - h_tj (1-h_tj)]
+             - (2/N_C) sum_{p<q} (C_pj - C_qj)
+                   [C_pj (1-C_pj) - C_qj (1-C_qj)]                    (Eq. 31)
+
+    dL/da_i  = 0                                                       (Eq. 32 ff.)
+
+where ``O_k`` is the visible centre of cluster ``V_k`` and (following the
+derivative structure of Eq. 25) ``C_k = sigmoid(b + O_k W)`` is its hidden
+image.  ``L_recon`` has the same form with reconstructed visible data (Eq. 28).
+
+The inner double sum over same-cluster pairs is evaluated in closed form:
+for each cluster with members ``(V, H)`` and derivative factors
+``D = H * (1 - H)``,
+
+    sum_{s,t} (h_sj - h_tj)(d_sj v_si - d_tj v_ti)
+        = 2 [ n_k (V^T (H*D))_{ij} - (sum_s h_sj) (V^T D)_{ij} ],
+
+which turns an O(n_k^2) pair loop into two matrix products.
+
+Normalisation: ``N_h`` is the total number of ordered same-cluster pairs and
+``N_C = K(K-1)/2``, matching :mod:`repro.rbm.objective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.numerics import sigmoid
+
+__all__ = [
+    "SupervisionGradients",
+    "constrict_disperse_gradient",
+    "constrict_disperse_loss_exact",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionGradients:
+    """Gradients of the constrict/disperse loss with respect to ``W`` and ``b``.
+
+    ``grad_weights`` has shape ``(n_visible, n_hidden)``; ``grad_hidden_bias``
+    has shape ``(n_hidden,)``.  The gradient with respect to the visible bias
+    is identically zero (Eq. 32 and following) and is therefore not stored.
+    """
+
+    grad_weights: np.ndarray
+    grad_hidden_bias: np.ndarray
+
+    def __add__(self, other: "SupervisionGradients") -> "SupervisionGradients":
+        return SupervisionGradients(
+            grad_weights=self.grad_weights + other.grad_weights,
+            grad_hidden_bias=self.grad_hidden_bias + other.grad_hidden_bias,
+        )
+
+    def scaled(self, factor: float) -> "SupervisionGradients":
+        """Return a copy scaled by ``factor``."""
+        return SupervisionGradients(
+            grad_weights=factor * self.grad_weights,
+            grad_hidden_bias=factor * self.grad_hidden_bias,
+        )
+
+    @property
+    def max_abs(self) -> float:
+        """Largest absolute gradient entry (used for diagnostics/clipping)."""
+        return float(
+            max(np.abs(self.grad_weights).max(), np.abs(self.grad_hidden_bias).max())
+        )
+
+
+def _pairwise_terms(
+    visible: np.ndarray, hidden: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form constriction term of one cluster.
+
+    Returns the weight-shaped and bias-shaped contributions of
+    ``sum_{s,t in cluster}`` *before* any normalisation.
+    """
+    count = visible.shape[0]
+    derivative = hidden * (1.0 - hidden)  # d_sj = h_sj (1 - h_sj)
+    hidden_sum = hidden.sum(axis=0)  # (n_hidden,)
+    weighted = hidden * derivative  # h_sj d_sj
+
+    grad_w = 2.0 * (count * (visible.T @ weighted) - (visible.T @ derivative) * hidden_sum)
+    grad_b = 2.0 * (
+        count * (hidden * derivative).sum(axis=0) - hidden_sum * derivative.sum(axis=0)
+    )
+    return grad_w, grad_b
+
+
+def _center_terms(
+    visible_centers: np.ndarray, hidden_centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispersion term summed over all centre pairs ``p < q`` (unnormalised)."""
+    n_clusters, n_hidden = hidden_centers.shape
+    n_visible = visible_centers.shape[1]
+    grad_w = np.zeros((n_visible, n_hidden))
+    grad_b = np.zeros(n_hidden)
+    derivative = hidden_centers * (1.0 - hidden_centers)
+    for p in range(n_clusters - 1):
+        for q in range(p + 1, n_clusters):
+            delta = hidden_centers[p] - hidden_centers[q]  # (n_hidden,)
+            grad_w += np.outer(visible_centers[p], delta * derivative[p]) - np.outer(
+                visible_centers[q], delta * derivative[q]
+            )
+            grad_b += delta * (derivative[p] - derivative[q])
+    return grad_w, grad_b
+
+
+def constrict_disperse_gradient(
+    visible: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    index_sets: dict[int, np.ndarray],
+) -> SupervisionGradients:
+    """Exact gradient of Eq. 14 (or Eq. 15) with respect to ``W`` and ``b``.
+
+    Parameters
+    ----------
+    visible : ndarray of shape (n_samples, n_visible)
+        Visible data (or reconstructed visible data for ``L_recon``).
+    weights : ndarray of shape (n_visible, n_hidden)
+    hidden_bias : ndarray of shape (n_hidden,)
+    index_sets : dict mapping cluster id -> member row indices
+        The credible local clusters ``V_1..V_K``.
+
+    Returns
+    -------
+    SupervisionGradients
+        ``dL/dW`` and ``dL/db``; ``dL/da`` is zero by Eq. 32.
+    """
+    visible = np.asarray(visible, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    hidden_bias = np.asarray(hidden_bias, dtype=float)
+    if visible.ndim != 2:
+        raise ValidationError("visible must be a 2-D array")
+    if weights.shape[0] != visible.shape[1]:
+        raise ValidationError(
+            f"weights expect {weights.shape[0]} visible units, data has {visible.shape[1]}"
+        )
+    if hidden_bias.shape[0] != weights.shape[1]:
+        raise ValidationError("hidden_bias length does not match weights")
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+
+    n_visible, n_hidden = weights.shape
+    grad_w_pairs = np.zeros((n_visible, n_hidden))
+    grad_b_pairs = np.zeros(n_hidden)
+    n_ordered_pairs = 0
+
+    cluster_ids = sorted(index_sets)
+    visible_centers = np.zeros((len(cluster_ids), n_visible))
+
+    for row, cluster_id in enumerate(cluster_ids):
+        indices = np.asarray(index_sets[cluster_id], dtype=int)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValidationError(f"cluster {cluster_id} has an invalid index set")
+        members_visible = visible[indices]
+        visible_centers[row] = members_visible.mean(axis=0)
+        count = indices.shape[0]
+        if count < 2:
+            continue
+        members_hidden = sigmoid(hidden_bias + members_visible @ weights)
+        grad_w, grad_b = _pairwise_terms(members_visible, members_hidden)
+        grad_w_pairs += grad_w
+        grad_b_pairs += grad_b
+        n_ordered_pairs += count * count - count
+
+    if n_ordered_pairs > 0:
+        # Chain-rule factor 2 of d||h_s - h_t||^2 / dW, then the 1/N_h average.
+        grad_w_pairs = 2.0 * grad_w_pairs / n_ordered_pairs
+        grad_b_pairs = 2.0 * grad_b_pairs / n_ordered_pairs
+
+    n_clusters = len(cluster_ids)
+    if n_clusters >= 2:
+        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
+        grad_w_centers, grad_b_centers = _center_terms(visible_centers, hidden_centers)
+        n_center_pairs = n_clusters * (n_clusters - 1) / 2.0
+        grad_w_centers = 2.0 * grad_w_centers / n_center_pairs
+        grad_b_centers = 2.0 * grad_b_centers / n_center_pairs
+    else:
+        grad_w_centers = np.zeros_like(grad_w_pairs)
+        grad_b_centers = np.zeros_like(grad_b_pairs)
+
+    return SupervisionGradients(
+        grad_weights=grad_w_pairs - grad_w_centers,
+        grad_hidden_bias=grad_b_pairs - grad_b_centers,
+    )
+
+
+def constrict_disperse_loss_exact(
+    visible: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    index_sets: dict[int, np.ndarray],
+) -> float:
+    """Reference loss whose exact gradient is :func:`constrict_disperse_gradient`.
+
+    ``L = (1/N_h) sum_k sum_{ordered s,t in H_k} ||h_s - h_t||^2
+        - (1/N_C) sum_{p<q} ||C_p - C_q||^2``
+
+    with ``h = sigmoid(b + v W)`` and ``C_k = sigmoid(b + O_k W)`` where
+    ``O_k`` is the visible centre of cluster ``k``.  Used by the gradient
+    checks and as a training monitor.
+    """
+    visible = np.asarray(visible, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    hidden_bias = np.asarray(hidden_bias, dtype=float)
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+
+    cluster_ids = sorted(index_sets)
+    constrict_total = 0.0
+    n_ordered_pairs = 0
+    visible_centers = np.zeros((len(cluster_ids), visible.shape[1]))
+    for row, cluster_id in enumerate(cluster_ids):
+        indices = np.asarray(index_sets[cluster_id], dtype=int)
+        members_visible = visible[indices]
+        visible_centers[row] = members_visible.mean(axis=0)
+        count = indices.shape[0]
+        if count < 2:
+            continue
+        hidden = sigmoid(hidden_bias + members_visible @ weights)
+        squared_norms = np.sum(hidden**2, axis=1)
+        gram = hidden @ hidden.T
+        pair_distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+        constrict_total += float(np.maximum(pair_distances, 0.0).sum())
+        n_ordered_pairs += count * count - count
+    constrict = constrict_total / n_ordered_pairs if n_ordered_pairs else 0.0
+
+    n_clusters = len(cluster_ids)
+    disperse = 0.0
+    if n_clusters >= 2:
+        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
+        total = 0.0
+        for p in range(n_clusters - 1):
+            for q in range(p + 1, n_clusters):
+                diff = hidden_centers[p] - hidden_centers[q]
+                total += float(diff @ diff)
+        disperse = total / (n_clusters * (n_clusters - 1) / 2.0)
+    return constrict - disperse

@@ -1,0 +1,45 @@
+"""Gaussian-Bernoulli RBM (the "GRBM" baseline).
+
+Real-valued visible units with unit-variance Gaussian noise (Eq. 4-5),
+binary hidden units.  The reconstruction of the visible layer is the *linear*
+transformation ``h W^T + a`` — the noise-free mean of the Gaussian
+conditional — exactly as used in the slsGRBM instantiation of the framework.
+Inputs are expected to be standardised (zero mean, unit variance per
+feature), which is what the paper's unit-variance energy assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rbm.base import BaseRBM
+from repro.utils.numerics import log1pexp
+
+__all__ = ["GaussianRBM"]
+
+
+class GaussianRBM(BaseRBM):
+    """Gaussian linear visible units, binary hidden units, CD-k learning."""
+
+    @property
+    def _binary_visible(self) -> bool:
+        return False
+
+    def visible_reconstruction(self, hidden: np.ndarray) -> np.ndarray:
+        """Linear reconstruction ``a + h W^T`` (mean of Eq. 5 with sigma=1)."""
+        self._check_fitted()
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        return self.visible_bias_ + hidden @ self.weights_.T
+
+    def sample_visible(self, hidden: np.ndarray) -> np.ndarray:
+        """Gaussian sample ``N(a + h W^T, 1)`` of the visible units."""
+        mean = self.visible_reconstruction(hidden)
+        return mean + self._rng.standard_normal(mean.shape)
+
+    def free_energy(self, visible: np.ndarray) -> np.ndarray:
+        """``F(v) = ||v - a||^2 / 2 - sum_j log(1 + exp(b_j + v.W_j))``."""
+        self._check_fitted()
+        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        quadratic = 0.5 * np.sum((visible - self.visible_bias_) ** 2, axis=1)
+        hidden_term = log1pexp(self.hidden_bias_ + visible @ self.weights_).sum(axis=1)
+        return quadratic - hidden_term

@@ -1,0 +1,58 @@
+"""Parameter initialisation schemes for RBMs.
+
+Hinton's practical guide recommends small zero-mean Gaussian weights and
+visible biases set to the log-odds of the empirical activation rates; both
+are provided here together with a Xavier-style alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import check_random_state
+
+__all__ = ["initialize_weights", "visible_bias_from_data"]
+
+_SCHEMES = ("gaussian", "xavier", "zeros")
+
+
+def initialize_weights(
+    n_visible: int,
+    n_hidden: int,
+    *,
+    scheme: str = "gaussian",
+    sigma: float = 0.01,
+    random_state=None,
+) -> np.ndarray:
+    """Initial weight matrix of shape ``(n_visible, n_hidden)``.
+
+    Parameters
+    ----------
+    scheme : {"gaussian", "xavier", "zeros"}
+        "gaussian" draws N(0, sigma^2); "xavier" scales by
+        ``sqrt(2 / (n_visible + n_hidden))``; "zeros" is occasionally useful
+        for debugging gradient code.
+    """
+    if scheme not in _SCHEMES:
+        raise ValidationError(f"scheme must be one of {_SCHEMES}, got {scheme!r}")
+    rng = check_random_state(random_state)
+    if scheme == "zeros":
+        return np.zeros((n_visible, n_hidden))
+    if scheme == "xavier":
+        sigma = float(np.sqrt(2.0 / (n_visible + n_hidden)))
+    return sigma * rng.standard_normal((n_visible, n_hidden))
+
+
+def visible_bias_from_data(data: np.ndarray, *, binary: bool) -> np.ndarray:
+    """Data-driven visible bias initialisation.
+
+    For binary units the bias is the empirical log-odds ``log(p / (1 - p))``
+    of each visible unit being on (clipped away from 0 and 1); for Gaussian
+    units it is the feature mean.
+    """
+    data = np.asarray(data, dtype=float)
+    if binary:
+        mean_activation = np.clip(data.mean(axis=0), 1e-3, 1.0 - 1e-3)
+        return np.log(mean_activation / (1.0 - mean_activation))
+    return data.mean(axis=0)

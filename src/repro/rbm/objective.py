@@ -1,0 +1,138 @@
+"""Constrict/disperse loss of the self-learning local supervision framework.
+
+Eq. 14 of the paper defines, for hidden features of the visible data,
+
+    L_data = (1/N_h) sum_k sum_{h_s, h_t in H_k} ||h_s - h_t||^2
+           - (1/N_C) sum_{p<q} ||C_p - C_q||^2,
+
+and Eq. 15 the analogous ``L_recon`` over the hidden features of the
+reconstructed data.  ``H_k`` are the hidden images of the credible local
+clusters ``V_k``; ``C_k`` are the hidden cluster centres; ``N_C = K(K-1)/2``.
+The first term *constricts* same-cluster features, the second *disperses*
+the centres of different clusters.
+
+Normalisation conventions (the paper leaves them implicit): ``N_h`` is the
+total number of ordered same-cluster pairs, ``N_C`` the number of centre
+pairs, so both terms are per-pair averages of comparable magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.numerics import pairwise_squared_distances
+
+__all__ = [
+    "constrict_loss",
+    "disperse_loss",
+    "constrict_disperse_loss",
+    "cluster_centers",
+    "sls_objective",
+]
+
+
+def _check_index_sets(index_sets: dict[int, np.ndarray], n_samples: int) -> None:
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+    for cluster_id, indices in index_sets.items():
+        indices = np.asarray(indices)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValidationError(f"cluster {cluster_id} has an invalid index set")
+        if indices.min() < 0 or indices.max() >= n_samples:
+            raise ValidationError(
+                f"cluster {cluster_id} references rows outside the feature matrix"
+            )
+
+
+def cluster_centers(
+    features: np.ndarray, index_sets: dict[int, np.ndarray]
+) -> np.ndarray:
+    """Mean feature vector of each local cluster, ordered by cluster id."""
+    features = np.asarray(features, dtype=float)
+    _check_index_sets(index_sets, features.shape[0])
+    return np.vstack(
+        [features[np.asarray(index_sets[cid])].mean(axis=0) for cid in sorted(index_sets)]
+    )
+
+
+def constrict_loss(features: np.ndarray, index_sets: dict[int, np.ndarray]) -> float:
+    """Average squared distance between same-cluster feature pairs.
+
+    This is the first (constriction) term of Eq. 14; smaller is better.
+    """
+    features = np.asarray(features, dtype=float)
+    _check_index_sets(index_sets, features.shape[0])
+    total = 0.0
+    n_pairs = 0
+    for cluster_id in sorted(index_sets):
+        members = features[np.asarray(index_sets[cluster_id])]
+        count = members.shape[0]
+        if count < 2:
+            continue
+        distances = pairwise_squared_distances(members)
+        total += float(distances.sum())
+        n_pairs += count * count - count
+    if n_pairs == 0:
+        return 0.0
+    return total / n_pairs
+
+
+def disperse_loss(features: np.ndarray, index_sets: dict[int, np.ndarray]) -> float:
+    """Average squared distance between the centres of different clusters.
+
+    This is the second (dispersion) term of Eq. 14; larger is better, so it
+    enters the combined loss with a negative sign.
+    """
+    centers = cluster_centers(features, index_sets)
+    n_clusters = centers.shape[0]
+    if n_clusters < 2:
+        return 0.0
+    distances = pairwise_squared_distances(centers)
+    upper = np.triu_indices(n_clusters, k=1)
+    return float(distances[upper].mean())
+
+
+def constrict_disperse_loss(
+    features: np.ndarray, index_sets: dict[int, np.ndarray]
+) -> float:
+    """``L = constrict - disperse`` (Eq. 14 / Eq. 15 for a feature matrix)."""
+    return constrict_loss(features, index_sets) - disperse_loss(features, index_sets)
+
+
+def sls_objective(
+    model,
+    data: np.ndarray,
+    index_sets: dict[int, np.ndarray],
+    *,
+    eta: float,
+) -> dict[str, float]:
+    """Evaluate the full objective of Eq. 16 for a fitted (sls)RBM model.
+
+    The intractable average log-likelihood is replaced by the negative mean
+    free energy (a standard monitoring proxy), so the returned ``objective``
+    is comparable across training stages of the same model but not across
+    models with different energy functions.
+
+    Returns
+    -------
+    dict with keys ``log_likelihood_proxy``, ``l_data``, ``l_recon`` and
+    ``objective``.
+    """
+    if not 0.0 < eta < 1.0:
+        raise ValidationError(f"eta must lie in (0, 1), got {eta}")
+    data = np.asarray(data, dtype=float)
+    hidden_data = model.hidden_probabilities(data)
+    visible_recon = model.visible_reconstruction(hidden_data)
+    hidden_recon = model.hidden_probabilities(visible_recon)
+
+    l_data = constrict_disperse_loss(hidden_data, index_sets)
+    l_recon = constrict_disperse_loss(hidden_recon, index_sets)
+    log_likelihood_proxy = float(-np.mean(model.free_energy(data)))
+    objective = -eta * log_likelihood_proxy + (1.0 - eta) * (l_data + l_recon)
+    return {
+        "log_likelihood_proxy": log_likelihood_proxy,
+        "l_data": l_data,
+        "l_recon": l_recon,
+        "objective": objective,
+    }

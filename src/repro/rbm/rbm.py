@@ -1,0 +1,63 @@
+"""Classical binary-binary restricted Boltzmann machine (the "RBM" baseline).
+
+Both layers are Bernoulli units; the visible reconstruction uses the sigmoid
+transformation of Eq. 3, exactly as in the slsRBM instantiation of the
+framework (Fig. 1, right branch) but without the supervision term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rbm.base import BaseRBM
+from repro.utils.numerics import log1pexp, sigmoid
+
+__all__ = ["BernoulliRBM"]
+
+
+class BernoulliRBM(BaseRBM):
+    """Binary visible units, binary hidden units, CD-k learning.
+
+    The energy function is Eq. 1; visible and hidden conditionals are the
+    sigmoid expressions of Eq. 2-3.  Inputs are expected in ``[0, 1]`` and are
+    interpreted as Bernoulli probabilities.
+    """
+
+    @property
+    def _binary_visible(self) -> bool:
+        return True
+
+    def visible_reconstruction(self, hidden: np.ndarray) -> np.ndarray:
+        """``p(v = 1 | h) = sigmoid(a + h W^T)`` (Eq. 3)."""
+        self._check_fitted()
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        return sigmoid(self.visible_bias_ + hidden @ self.weights_.T)
+
+    def sample_visible(self, hidden: np.ndarray) -> np.ndarray:
+        """Bernoulli sample of the visible units given hidden states."""
+        probabilities = self.visible_reconstruction(hidden)
+        return (self._rng.random(probabilities.shape) < probabilities).astype(float)
+
+    def free_energy(self, visible: np.ndarray) -> np.ndarray:
+        """``F(v) = -a.v - sum_j log(1 + exp(b_j + v.W_j))`` per sample."""
+        self._check_fitted()
+        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        visible_term = visible @ self.visible_bias_
+        hidden_term = log1pexp(self.hidden_bias_ + visible @ self.weights_).sum(axis=1)
+        return -visible_term - hidden_term
+
+    def pseudo_log_likelihood(self, visible: np.ndarray) -> float:
+        """Stochastic pseudo-log-likelihood proxy (one random bit flipped).
+
+        Useful as a training monitor on binary data; not part of the paper's
+        evaluation.
+        """
+        self._check_fitted()
+        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        n_samples, n_features = visible.shape
+        flip_index = self._rng.integers(n_features, size=n_samples)
+        flipped = visible.copy()
+        rows = np.arange(n_samples)
+        flipped[rows, flip_index] = 1.0 - flipped[rows, flip_index]
+        delta = self.free_energy(flipped) - self.free_energy(visible)
+        return float(np.mean(n_features * np.log(sigmoid(delta))))

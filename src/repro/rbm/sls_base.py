@@ -1,0 +1,195 @@
+"""Shared machinery of the self-learning local supervision (sls) models.
+
+The sls models keep the CD-1 likelihood update of their plain counterparts
+and add the analytic gradients of the constrict/disperse loss computed over
+the credible local clusters, both for the hidden features of the data
+(``L_data``) and for the hidden features of the reconstructed data
+(``L_recon``), as in Eq. 33-35.
+
+Two deliberate deviations from the literal update rules of the paper (both
+recorded in DESIGN.md):
+
+* Eq. 33-34 *add* the gradient of ``L_data + L_recon``; since the stated goal
+  is to *minimise* the within-cluster spread and *maximise* the centre
+  separation (i.e. minimise the loss), we apply the gradient with a descent
+  sign.  Adding it as printed ascends the loss and undoes the constriction.
+* Eq. 33-34 apply no learning rate to the supervision term.  Taking the raw
+  gradient step diverges for any realistic dataset, so the term is scaled by
+  ``supervision_learning_rate`` (defaults to the CD learning rate) and
+  optionally clipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.rbm.base import BaseRBM
+from repro.rbm.gradients import SupervisionGradients, constrict_disperse_gradient
+from repro.supervision.local_supervision import LocalSupervision
+from repro.utils.validation import check_array, check_probability
+
+__all__ = ["SupervisedCDMixin"]
+
+
+class SupervisedCDMixin(BaseRBM):
+    """Adds supervision-guided CD learning on top of :class:`BaseRBM`.
+
+    Additional parameters
+    ---------------------
+    eta : float in (0, 1)
+        Scale coefficient of Eq. 13 balancing the likelihood term (``eta``)
+        against the constrict/disperse terms (``1 - eta``).  The paper uses
+        0.4 for slsGRBM and 0.5 for slsRBM.
+    supervision_learning_rate : float or None
+        Step size applied to the supervision gradient; defaults to the CD
+        learning rate.
+    supervision_grad_clip : float or None, default 1.0
+        Elementwise clip applied to the supervision gradients before the
+        update (None disables clipping).
+    """
+
+    def __init__(
+        self,
+        n_hidden: int,
+        *,
+        eta: float = 0.5,
+        supervision_learning_rate: float | None = None,
+        supervision_grad_clip: float | None = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(n_hidden, **kwargs)
+        self.eta = check_probability(eta, name="eta")
+        if supervision_learning_rate is not None and supervision_learning_rate <= 0:
+            raise ValidationError(
+                "supervision_learning_rate must be positive, got "
+                f"{supervision_learning_rate}"
+            )
+        self.supervision_learning_rate = supervision_learning_rate
+        if supervision_grad_clip is not None and supervision_grad_clip <= 0:
+            raise ValidationError(
+                f"supervision_grad_clip must be positive, got {supervision_grad_clip}"
+            )
+        self.supervision_grad_clip = supervision_grad_clip
+
+    # ------------------------------------------------------------- supervision
+    def set_supervision(self, data, supervision: LocalSupervision | None) -> None:
+        """Attach the local supervision used during training.
+
+        ``data`` is the full training matrix; only the covered rows are kept
+        for the supervision gradients.  Passing ``None`` clears the
+        supervision, in which case the model trains exactly like its plain
+        counterpart (useful for the ``eta -> 1`` ablation).
+        """
+        if supervision is None:
+            self._supervision_visible = None
+            self._supervision_index_sets = None
+            return
+        if not isinstance(supervision, LocalSupervision):
+            raise ValidationError(
+                "supervision must be a LocalSupervision instance or None, got "
+                f"{type(supervision).__name__}"
+            )
+        data = check_array(data, name="data")
+        if supervision.n_samples != data.shape[0]:
+            raise ValidationError(
+                f"supervision covers {supervision.n_samples} samples but the "
+                f"training data has {data.shape[0]} rows"
+            )
+        covered = supervision.covered_indices
+        # Re-index the cluster members relative to the covered submatrix so the
+        # gradient code never touches uncovered rows.
+        position = {int(original): local for local, original in enumerate(covered)}
+        index_sets = {
+            cluster_id: np.array([position[int(i)] for i in members], dtype=int)
+            for cluster_id, members in supervision.cluster_index_sets().items()
+        }
+        self._supervision_visible = np.asarray(data[covered], dtype=float)
+        self._supervision_index_sets = index_sets
+        self.supervision_ = supervision
+
+    @property
+    def has_supervision(self) -> bool:
+        """Whether a local supervision is currently attached."""
+        return getattr(self, "_supervision_visible", None) is not None
+
+    def supervision_gradients(self) -> SupervisionGradients:
+        """Gradient of ``L_data + L_recon`` at the current parameters."""
+        if not self.has_supervision:
+            raise ValidationError("no supervision attached; call set_supervision first")
+        visible = self._supervision_visible
+        index_sets = self._supervision_index_sets
+
+        grad_data = constrict_disperse_gradient(
+            visible, self.weights_, self.hidden_bias_, index_sets
+        )
+        hidden = self.hidden_probabilities(visible)
+        visible_recon = self.visible_reconstruction(hidden)
+        grad_recon = constrict_disperse_gradient(
+            visible_recon, self.weights_, self.hidden_bias_, index_sets
+        )
+        combined = grad_data + grad_recon
+        if self.supervision_grad_clip is not None:
+            combined = SupervisionGradients(
+                grad_weights=np.clip(
+                    combined.grad_weights,
+                    -self.supervision_grad_clip,
+                    self.supervision_grad_clip,
+                ),
+                grad_hidden_bias=np.clip(
+                    combined.grad_hidden_bias,
+                    -self.supervision_grad_clip,
+                    self.supervision_grad_clip,
+                ),
+            )
+        return combined
+
+    # ------------------------------------------------------------- training step
+    def partial_fit(self, batch: np.ndarray) -> float:
+        """CD update blended with the supervision gradient (Eq. 33-35)."""
+        stats = self.contrastive_divergence(batch)
+
+        if not self.has_supervision:
+            self.apply_update(
+                stats.grad_weights, stats.grad_visible_bias, stats.grad_hidden_bias
+            )
+            return stats.reconstruction_error
+
+        supervision = self.supervision_gradients()
+        sup_lr = (
+            self.supervision_learning_rate
+            if self.supervision_learning_rate is not None
+            else self.learning_rate
+        )
+        # Likelihood ascent scaled by eta, supervision descent scaled by
+        # (1 - eta); apply_update multiplies by self.learning_rate, so the
+        # supervision term is pre-divided to honour its own step size.
+        ratio = sup_lr / self.learning_rate
+        grad_weights = (
+            self.eta * stats.grad_weights
+            - (1.0 - self.eta) * ratio * supervision.grad_weights
+        )
+        grad_hidden_bias = (
+            self.eta * stats.grad_hidden_bias
+            - (1.0 - self.eta) * ratio * supervision.grad_hidden_bias
+        )
+        # Eq. 35: the visible bias keeps the plain CD update (no eta scaling,
+        # no supervision contribution).
+        grad_visible_bias = stats.grad_visible_bias
+
+        self.apply_update(grad_weights, grad_visible_bias, grad_hidden_bias)
+        return stats.reconstruction_error
+
+    # ------------------------------------------------------------------- fitting
+    def fit(self, data, supervision: LocalSupervision | None = None, **fit_params):
+        """Train with an optional local supervision.
+
+        Parameters
+        ----------
+        data : array-like of shape (n_samples, n_features)
+        supervision : LocalSupervision or None
+            Credible local clusters produced by
+            :class:`repro.supervision.MultiClusteringIntegration`.  ``None``
+            trains the model as a plain RBM/GRBM.
+        """
+        return super().fit(data, supervision=supervision, **fit_params)

@@ -1,0 +1,32 @@
+"""slsGRBM: self-learning local supervision GRBM with Gaussian visible units.
+
+Instantiation of the framework with Gaussian linear visible units, binary
+hidden units and the linear transformation for the visible reconstruction
+(Fig. 1, Section IV).  The paper trains it with ``eta = 0.4`` and learning
+rate ``1e-4`` on the MSRA-MM 2.0 datasets; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from repro.rbm.grbm import GaussianRBM
+from repro.rbm.sls_base import SupervisedCDMixin
+
+__all__ = ["SlsGRBM"]
+
+
+class SlsGRBM(SupervisedCDMixin, GaussianRBM):
+    """Gaussian-Bernoulli RBM whose CD learning is guided by local supervisions.
+
+    See :class:`repro.rbm.sls_base.SupervisedCDMixin` for the supervision
+    parameters and :class:`repro.rbm.grbm.GaussianRBM` for the energy model.
+    """
+
+    def __init__(
+        self,
+        n_hidden: int,
+        *,
+        eta: float = 0.4,
+        learning_rate: float = 1e-4,
+        **kwargs,
+    ) -> None:
+        super().__init__(n_hidden, eta=eta, learning_rate=learning_rate, **kwargs)

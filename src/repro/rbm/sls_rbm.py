@@ -1,0 +1,32 @@
+"""slsRBM: self-learning local supervision RBM with binary visible units.
+
+Instantiation of the framework with binary visible and hidden units and the
+sigmoid transformation for the visible reconstruction (Fig. 1, Section IV).
+The paper trains it with ``eta = 0.5`` and learning rate ``1e-5`` on the UCI
+datasets; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from repro.rbm.rbm import BernoulliRBM
+from repro.rbm.sls_base import SupervisedCDMixin
+
+__all__ = ["SlsRBM"]
+
+
+class SlsRBM(SupervisedCDMixin, BernoulliRBM):
+    """Binary-binary RBM whose CD learning is guided by local supervisions.
+
+    See :class:`repro.rbm.sls_base.SupervisedCDMixin` for the supervision
+    parameters and :class:`repro.rbm.rbm.BernoulliRBM` for the energy model.
+    """
+
+    def __init__(
+        self,
+        n_hidden: int,
+        *,
+        eta: float = 0.5,
+        learning_rate: float = 1e-3,
+        **kwargs,
+    ) -> None:
+        super().__init__(n_hidden, eta=eta, learning_rate=learning_rate, **kwargs)

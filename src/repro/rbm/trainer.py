@@ -1,0 +1,161 @@
+"""Epoch/minibatch training driver shared by all RBM variants.
+
+Separating the loop from the models keeps the models focused on the
+per-minibatch mathematics (CD statistics, supervision gradients) while the
+trainer handles shuffling, batching, history recording and optional early
+stopping on the reconstruction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.supervision.local_supervision import LocalSupervision
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array
+
+__all__ = ["RBMTrainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training statistics.
+
+    Attributes
+    ----------
+    reconstruction_errors : list of float
+        Mean squared reconstruction error per epoch.
+    supervision_losses : list of float
+        ``L_data + L_recon`` per epoch (empty for plain models or when no
+        supervision is attached).
+    n_epochs_run : int
+    stopped_early : bool
+    """
+
+    reconstruction_errors: list[float] = field(default_factory=list)
+    supervision_losses: list[float] = field(default_factory=list)
+    n_epochs_run: int = 0
+    stopped_early: bool = False
+
+    @property
+    def final_reconstruction_error(self) -> float:
+        if not self.reconstruction_errors:
+            raise ValueError("no epoch has been recorded yet")
+        return self.reconstruction_errors[-1]
+
+
+class RBMTrainer:
+    """Minibatch trainer for :class:`repro.rbm.base.BaseRBM` models.
+
+    Parameters
+    ----------
+    model : BaseRBM
+        The model to train (modified in place).
+    shuffle : bool, default True
+        Reshuffle the data every epoch.
+    early_stopping_tol : float or None, default None
+        Stop when the relative improvement of the epoch reconstruction error
+        falls below this tolerance for ``patience`` consecutive epochs.
+    patience : int, default 3
+    verbose : bool, default False
+        Print one line per epoch.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        shuffle: bool = True,
+        early_stopping_tol: float | None = None,
+        patience: int = 3,
+        verbose: bool = False,
+    ) -> None:
+        self.model = model
+        self.shuffle = bool(shuffle)
+        if early_stopping_tol is not None and early_stopping_tol < 0:
+            raise ValidationError(
+                f"early_stopping_tol must be non-negative, got {early_stopping_tol}"
+            )
+        self.early_stopping_tol = early_stopping_tol
+        if patience < 1:
+            raise ValidationError(f"patience must be >= 1, got {patience}")
+        self.patience = int(patience)
+        self.verbose = bool(verbose)
+
+    def fit(self, data, supervision: LocalSupervision | None = None) -> "RBMTrainer":
+        """Run the full training loop on ``data``."""
+        data = check_array(data, name="data")
+        model = self.model
+        model.initialize(data)
+        if supervision is not None or hasattr(model, "set_supervision"):
+            if hasattr(model, "set_supervision"):
+                model.set_supervision(data, supervision)
+            elif supervision is not None:
+                raise ValidationError(
+                    f"{type(model).__name__} does not accept a supervision; "
+                    "use SlsRBM or SlsGRBM"
+                )
+
+        n_samples = data.shape[0]
+        batch_size = min(model.batch_size, n_samples)
+        rng = check_random_state(model.random_state)
+        history = TrainingHistory()
+        stall_count = 0
+
+        for epoch in range(1, model.n_epochs + 1):
+            order = rng.permutation(n_samples) if self.shuffle else np.arange(n_samples)
+            errors = []
+            for start in range(0, n_samples, batch_size):
+                batch = data[order[start : start + batch_size]]
+                errors.append(model.partial_fit(batch))
+            epoch_error = float(np.mean(errors))
+            history.reconstruction_errors.append(epoch_error)
+            history.n_epochs_run = epoch
+
+            if getattr(model, "has_supervision", False):
+                history.supervision_losses.append(self._supervision_loss(model))
+
+            if self.verbose:  # pragma: no cover - logging only
+                extra = (
+                    f", supervision loss {history.supervision_losses[-1]:.5f}"
+                    if history.supervision_losses
+                    else ""
+                )
+                print(
+                    f"[{type(model).__name__}] epoch {epoch}/{model.n_epochs}: "
+                    f"reconstruction error {epoch_error:.5f}{extra}"
+                )
+
+            if self.early_stopping_tol is not None and epoch > 1:
+                previous = history.reconstruction_errors[-2]
+                improvement = (previous - epoch_error) / max(abs(previous), 1e-12)
+                if improvement < self.early_stopping_tol:
+                    stall_count += 1
+                else:
+                    stall_count = 0
+                if stall_count >= self.patience:
+                    history.stopped_early = True
+                    break
+
+        self.history_ = history
+        return self
+
+    @staticmethod
+    def _supervision_loss(model) -> float:
+        """``L_data + L_recon`` of the attached supervision at the current params."""
+        from repro.rbm.gradients import constrict_disperse_loss_exact
+
+        visible = model._supervision_visible
+        index_sets = model._supervision_index_sets
+        l_data = constrict_disperse_loss_exact(
+            visible, model.weights_, model.hidden_bias_, index_sets
+        )
+        hidden = model.hidden_probabilities(visible)
+        visible_recon = model.visible_reconstruction(hidden)
+        l_recon = constrict_disperse_loss_exact(
+            visible_recon, model.weights_, model.hidden_bias_, index_sets
+        )
+        return float(l_data + l_recon)

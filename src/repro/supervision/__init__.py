@@ -1,0 +1,22 @@
+"""Self-learning local supervision (multi-clustering integration).
+
+This subpackage implements the paper's core data-side contribution: several
+unsupervised clusterings of the visible data are aligned, combined by an
+unanimous-voting strategy, and distilled into *local credible clusters* — the
+``V_1..V_K`` subsets whose hidden representations the sls models constrict
+together and whose centres they disperse.
+"""
+
+from repro.supervision.alignment import align_partitions, align_to_reference
+from repro.supervision.ensemble import MultiClusteringIntegration
+from repro.supervision.local_supervision import LocalSupervision
+from repro.supervision.voting import majority_vote, unanimous_vote
+
+__all__ = [
+    "align_to_reference",
+    "align_partitions",
+    "unanimous_vote",
+    "majority_vote",
+    "LocalSupervision",
+    "MultiClusteringIntegration",
+]

@@ -1,0 +1,156 @@
+"""Multi-clustering integration: base clusterers -> alignment -> voting.
+
+This is the "self-learning" half of the paper's framework.  Several
+unsupervised clustering algorithms partition the visible data, the partitions
+are aligned to a common labelling, and a voting strategy (unanimous by
+default) keeps only the instances on which the ensemble agrees.  The result
+is a :class:`~repro.supervision.local_supervision.LocalSupervision` that
+guides the contrastive-divergence learning of the sls models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.clustering.registry import make_clusterer
+from repro.exceptions import SupervisionError, ValidationError
+from repro.supervision.alignment import align_partitions
+from repro.supervision.local_supervision import LocalSupervision
+from repro.supervision.voting import majority_vote, unanimous_vote
+from repro.utils.rng import spawn_children
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["MultiClusteringIntegration"]
+
+#: Base clusterers used in the paper (Section V.A.2): DP, K-means and AP.
+DEFAULT_CLUSTERERS = ("dp", "kmeans", "ap")
+
+
+class MultiClusteringIntegration:
+    """Build self-learning local supervisions from an ensemble of clusterers.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters each base algorithm is asked for (the paper uses
+        the ground-truth class count of each dataset).
+    clusterers : sequence of str or BaseClusterer, default ("dp", "kmeans", "ap")
+        Base algorithms.  Strings are resolved through
+        :func:`repro.clustering.make_clusterer`.
+    voting : {"unanimous", "majority"}, default "unanimous"
+        Integration strategy; the paper uses unanimous voting.
+    min_agreement : float, default 0.5
+        Majority-voting threshold (ignored for unanimous voting).
+    min_cluster_size : int, default 2
+        Credible clusters smaller than this are dropped: a singleton cluster
+        contributes nothing to the pairwise constriction term.
+    random_state : int, Generator or None
+        Seed; each base clusterer receives an independent child stream.
+
+    Attributes
+    ----------
+    partitions_ : list of ndarray
+        Raw partitions produced by the base clusterers (after ``fit``).
+    aligned_partitions_ : list of ndarray
+        The same partitions after Hungarian alignment.
+    supervision_ : LocalSupervision
+        The integrated local supervision.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        clusterers: Sequence[str | BaseClusterer] = DEFAULT_CLUSTERERS,
+        voting: str = "unanimous",
+        min_agreement: float = 0.5,
+        min_cluster_size: int = 2,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        if not clusterers:
+            raise ValidationError("at least one base clusterer is required")
+        self.clusterers = tuple(clusterers)
+        if voting not in ("unanimous", "majority"):
+            raise ValidationError(
+                f"voting must be 'unanimous' or 'majority', got {voting!r}"
+            )
+        self.voting = voting
+        self.min_agreement = float(min_agreement)
+        self.min_cluster_size = check_positive_int(
+            min_cluster_size, name="min_cluster_size"
+        )
+        self.random_state = random_state
+
+    # --------------------------------------------------------------------- API
+    def fit(self, data) -> "MultiClusteringIntegration":
+        """Run the base clusterers on ``data`` and integrate their partitions."""
+        data = check_array(data, name="data")
+        estimators = self._build_estimators()
+
+        partitions = [np.asarray(est.fit_predict(data)) for est in estimators]
+        aligned = align_partitions(partitions)
+
+        if self.voting == "unanimous":
+            labels, mask = unanimous_vote(aligned)
+        else:
+            labels, mask = majority_vote(aligned, min_agreement=self.min_agreement)
+
+        labels = self._drop_small_clusters(labels)
+        if not (labels >= 0).any():
+            raise SupervisionError(
+                "multi-clustering integration produced no credible cluster; "
+                "the base clusterings disagree everywhere"
+            )
+
+        self.estimators_ = estimators
+        self.partitions_ = partitions
+        self.aligned_partitions_ = aligned
+        self.agreement_rate_ = float(mask.mean())
+        self.supervision_ = LocalSupervision(
+            labels=labels,
+            n_samples=data.shape[0],
+            metadata={
+                "clusterers": [est.name for est in estimators],
+                "voting": self.voting,
+                "agreement_rate": self.agreement_rate_,
+                "n_clusters_requested": self.n_clusters,
+            },
+        )
+        return self
+
+    def fit_supervision(self, data) -> LocalSupervision:
+        """Convenience wrapper returning the integrated supervision directly."""
+        return self.fit(data).supervision_
+
+    # ---------------------------------------------------------------- internals
+    def _build_estimators(self) -> list[BaseClusterer]:
+        streams = spawn_children(self.random_state, len(self.clusterers))
+        estimators: list[BaseClusterer] = []
+        for spec, stream in zip(self.clusterers, streams):
+            if isinstance(spec, BaseClusterer):
+                estimators.append(spec)
+            else:
+                estimators.append(
+                    make_clusterer(str(spec), self.n_clusters, random_state=stream)
+                )
+        return estimators
+
+    def _drop_small_clusters(self, labels: np.ndarray) -> np.ndarray:
+        """Remove credible clusters with fewer than ``min_cluster_size`` members."""
+        labels = labels.copy()
+        values, counts = np.unique(labels[labels >= 0], return_counts=True)
+        for value, count in zip(values, counts):
+            if count < self.min_cluster_size:
+                labels[labels == value] = -1
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = [c if isinstance(c, str) else c.name for c in self.clusterers]
+        return (
+            f"MultiClusteringIntegration(n_clusters={self.n_clusters}, "
+            f"clusterers={names}, voting={self.voting!r})"
+        )

@@ -1,0 +1,167 @@
+"""The ``LocalSupervision`` value object.
+
+A local supervision is the final product of the multi-clustering integration:
+a set of *credible local clusters* — index sets ``V_1 .. V_K`` over the
+visible data — that the sls models use to constrict same-cluster hidden
+features and disperse the centres of different clusters (Eq. 13-15 of the
+paper).  Only a subset of the data is covered; instances on which the base
+clusterings disagreed carry no supervision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SupervisionError
+from repro.utils.validation import check_labels
+
+__all__ = ["LocalSupervision"]
+
+
+@dataclass(frozen=True)
+class LocalSupervision:
+    """Credible local clusters over a dataset of ``n_samples`` instances.
+
+    Attributes
+    ----------
+    labels : ndarray of shape (n_samples,)
+        Consensus cluster label per instance, ``-1`` for uncovered instances.
+    n_samples : int
+        Total number of instances in the dataset (covered or not).
+    metadata : dict
+        Provenance (base clusterers, voting strategy, agreement statistics).
+    """
+
+    labels: np.ndarray
+    n_samples: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels)
+        if labels.ndim != 1:
+            raise SupervisionError(
+                f"labels must be 1-D, got shape {labels.shape}"
+            )
+        if labels.shape[0] != self.n_samples:
+            raise SupervisionError(
+                f"labels has {labels.shape[0]} entries but n_samples={self.n_samples}"
+            )
+        labels = labels.astype(int)
+        covered = labels >= 0
+        if not covered.any():
+            raise SupervisionError(
+                "local supervision covers no instance; unanimous voting removed "
+                "everything (try majority voting or fewer base clusterers)"
+            )
+        object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean mask of covered (credible) instances."""
+        return self.labels >= 0
+
+    @property
+    def covered_indices(self) -> np.ndarray:
+        """Indices of covered instances, in dataset order."""
+        return np.flatnonzero(self.mask)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the dataset covered by the supervision, in (0, 1]."""
+        return float(self.mask.mean())
+
+    @property
+    def cluster_ids(self) -> np.ndarray:
+        """Sorted distinct local cluster identifiers (excluding -1)."""
+        return np.unique(self.labels[self.mask])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of credible local clusters ``K``."""
+        return int(self.cluster_ids.shape[0])
+
+    def members(self, cluster_id: int) -> np.ndarray:
+        """Indices of the instances in local cluster ``cluster_id``."""
+        if cluster_id < 0:
+            raise SupervisionError("cluster_id must be non-negative")
+        indices = np.flatnonzero(self.labels == cluster_id)
+        if indices.size == 0:
+            raise SupervisionError(f"local cluster {cluster_id} is empty")
+        return indices
+
+    def cluster_index_sets(self) -> dict[int, np.ndarray]:
+        """Mapping ``cluster_id -> member indices`` for all local clusters."""
+        return {int(cid): self.members(int(cid)) for cid in self.cluster_ids}
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Mapping ``cluster_id -> number of members``."""
+        return {cid: idx.shape[0] for cid, idx in self.cluster_index_sets().items()}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_labels(cls, labels, *, metadata: dict | None = None) -> "LocalSupervision":
+        """Build a supervision directly from a label vector with -1 gaps."""
+        labels = np.asarray(labels, dtype=int)
+        return cls(labels=labels, n_samples=labels.shape[0], metadata=metadata or {})
+
+    @classmethod
+    def from_full_partition(
+        cls, labels, *, metadata: dict | None = None
+    ) -> "LocalSupervision":
+        """Build a supervision that covers every instance (no -1 entries).
+
+        Useful for oracle experiments where the ground truth plays the role
+        of the supervision.
+        """
+        labels = check_labels(labels, name="labels")
+        if (labels < 0).any():
+            raise SupervisionError(
+                "from_full_partition expects non-negative labels only"
+            )
+        return cls(labels=labels, n_samples=labels.shape[0], metadata=metadata or {})
+
+    # ---------------------------------------------------------------- utilities
+    def restrict_to(self, indices) -> "LocalSupervision":
+        """Supervision restricted to a subset of the dataset (e.g. a minibatch).
+
+        Parameters
+        ----------
+        indices : 1-D integer array
+            Positions (in dataset order) of the retained instances.  The
+            returned supervision is indexed relative to this subset.
+
+        Raises
+        ------
+        SupervisionError
+            If no covered instance falls inside ``indices``.
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.ndim != 1:
+            raise SupervisionError("indices must be 1-D")
+        sub_labels = self.labels[indices]
+        return LocalSupervision(
+            labels=sub_labels,
+            n_samples=indices.shape[0],
+            metadata={**self.metadata, "restricted": True},
+        )
+
+    def summary(self) -> dict[str, float | int]:
+        """Coverage statistics used in reports and logging."""
+        sizes = self.cluster_sizes()
+        return {
+            "n_samples": self.n_samples,
+            "n_covered": int(self.mask.sum()),
+            "coverage": self.coverage,
+            "n_clusters": self.n_clusters,
+            "min_cluster_size": int(min(sizes.values())),
+            "max_cluster_size": int(max(sizes.values())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocalSupervision(n_samples={self.n_samples}, "
+            f"coverage={self.coverage:.2f}, n_clusters={self.n_clusters})"
+        )

@@ -1,0 +1,90 @@
+"""Voting strategies over aligned partitions.
+
+The paper's self-learning local supervision keeps only the instances on which
+*all* base clusterings agree (unanimous voting).  Majority voting is provided
+as the ablation alternative discussed in the related-work section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_labels, check_same_length
+
+__all__ = ["unanimous_vote", "majority_vote", "agreement_mask"]
+
+
+def _stack_partitions(partitions: list[np.ndarray]) -> np.ndarray:
+    if not partitions:
+        raise ValidationError("voting requires at least one partition")
+    checked = []
+    for index, partition in enumerate(partitions):
+        checked.append(check_labels(partition, name=f"partitions[{index}]"))
+    check_same_length(*checked, names=tuple(f"partitions[{i}]" for i in range(len(checked))))
+    return np.vstack(checked)
+
+
+def agreement_mask(partitions: list[np.ndarray]) -> np.ndarray:
+    """Boolean mask of instances on which every aligned partition agrees."""
+    stacked = _stack_partitions(partitions)
+    return np.all(stacked == stacked[0], axis=0)
+
+
+def unanimous_vote(partitions: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Unanimous-voting integration of aligned partitions.
+
+    Parameters
+    ----------
+    partitions : list of aligned label vectors (same length, shared labelling).
+
+    Returns
+    -------
+    labels : ndarray of shape (n_samples,)
+        Consensus label where all partitions agree, ``-1`` elsewhere.
+    mask : ndarray of shape (n_samples,) of bool
+        True for the credible (unanimously agreed) instances.
+    """
+    stacked = _stack_partitions(partitions)
+    mask = np.all(stacked == stacked[0], axis=0)
+    labels = np.where(mask, stacked[0], -1)
+    return labels, mask
+
+
+def majority_vote(
+    partitions: list[np.ndarray], *, min_agreement: float = 0.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Majority-voting integration of aligned partitions.
+
+    Parameters
+    ----------
+    partitions : list of aligned label vectors.
+    min_agreement : float in (0, 1], default 0.5
+        Minimum fraction of partitions that must agree on the winning label
+        for an instance to be kept (strictly greater than this fraction).
+
+    Returns
+    -------
+    labels : ndarray
+        Winning label per instance, ``-1`` where the agreement threshold is
+        not met.
+    mask : ndarray of bool
+        True for kept instances.
+    """
+    if not 0.0 < min_agreement <= 1.0:
+        raise ValidationError(
+            f"min_agreement must lie in (0, 1], got {min_agreement}"
+        )
+    stacked = _stack_partitions(partitions)
+    n_partitions, n_samples = stacked.shape
+
+    labels = np.full(n_samples, -1, dtype=int)
+    mask = np.zeros(n_samples, dtype=bool)
+    for index in range(n_samples):
+        values, counts = np.unique(stacked[:, index], return_counts=True)
+        winner = int(np.argmax(counts))
+        fraction = counts[winner] / n_partitions
+        if fraction > min_agreement or np.isclose(fraction, 1.0):
+            labels[index] = int(values[winner])
+            mask[index] = True
+    return labels, mask

@@ -1,0 +1,34 @@
+"""Shared numerical and validation utilities used across the library."""
+
+from repro.utils.numerics import (
+    log1pexp,
+    logsumexp,
+    pairwise_squared_distances,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+from repro.utils.rng import check_random_state, spawn_children
+from repro.utils.validation import (
+    check_array,
+    check_labels,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "sigmoid",
+    "softmax",
+    "log1pexp",
+    "logsumexp",
+    "stable_log",
+    "pairwise_squared_distances",
+    "check_random_state",
+    "spawn_children",
+    "check_array",
+    "check_labels",
+    "check_same_length",
+    "check_positive_int",
+    "check_probability",
+]

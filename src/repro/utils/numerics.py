@@ -1,0 +1,109 @@
+"""Numerically stable primitives shared by the RBM and clustering code.
+
+The contrastive-divergence updates of the paper are expressed in terms of
+sigmoid activations (Eq. 2-3) and squared Euclidean distances between hidden
+feature vectors (Eq. 14-15).  These helpers keep those computations stable for
+large magnitude pre-activations and large data matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "softmax",
+    "log1pexp",
+    "logsumexp",
+    "stable_log",
+    "pairwise_squared_distances",
+    "squared_norm",
+]
+
+_LOG_EPS = 1e-12
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic function ``1 / (1 + exp(-x))``.
+
+    Uses the two-branch formulation so that neither ``exp(x)`` nor
+    ``exp(-x)`` can overflow for extreme pre-activations.
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    positive = x >= 0
+    negative = ~positive
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[negative])
+    out[negative] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def log1pexp(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(1 + exp(x))`` (softplus), used for RBM free energy."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    small = x <= 30.0
+    out[small] = np.log1p(np.exp(x[small]))
+    out[~small] = x[~small]
+    return out
+
+
+def logsumexp(x: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    x_max = np.max(x, axis=axis, keepdims=True)
+    x_max = np.where(np.isfinite(x_max), x_max, 0.0)
+    result = np.log(np.sum(np.exp(x - x_max), axis=axis, keepdims=True)) + x_max
+    if axis is None:
+        return float(result.reshape(()))
+    return np.squeeze(result, axis=axis)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def stable_log(x: np.ndarray) -> np.ndarray:
+    """``log(max(x, eps))`` so that exact zeros do not produce ``-inf``."""
+    return np.log(np.maximum(np.asarray(x, dtype=float), _LOG_EPS))
+
+
+def squared_norm(x: np.ndarray) -> float:
+    """Squared Frobenius / 2-norm of an array."""
+    x = np.asarray(x, dtype=float).ravel()
+    return float(np.dot(x, x))
+
+
+def pairwise_squared_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Matrix of squared Euclidean distances between rows of ``a`` and ``b``.
+
+    Parameters
+    ----------
+    a : ndarray of shape (n, d)
+    b : ndarray of shape (m, d), optional
+        Defaults to ``a``.
+
+    Returns
+    -------
+    ndarray of shape (n, m)
+        Non-negative squared distances (negatives from floating point
+        cancellation are clipped to zero).
+    """
+    a = np.asarray(a, dtype=float)
+    b = a if b is None else np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("pairwise_squared_distances expects 2-D arrays")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: a has {a.shape[1]} columns, b has {b.shape[1]}"
+        )
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    distances = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(distances, 0.0, out=distances)
+    return distances

@@ -1,0 +1,52 @@
+"""Random-number-generator handling.
+
+Every stochastic component of the library (RBM sampling, K-means restarts,
+synthetic dataset generation) accepts a ``random_state`` argument that may be
+``None``, an integer seed or a :class:`numpy.random.Generator`.  This module
+centralises the conversion so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_children"]
+
+
+def check_random_state(
+    random_state: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state : None, int or numpy.random.Generator
+        ``None`` creates a fresh non-deterministic generator, an ``int`` seeds
+        a new generator, and an existing generator is returned unchanged.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int or a numpy.random.Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_children(
+    random_state: int | np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``random_state``.
+
+    Used when a composite procedure (e.g. the multi-clustering integration)
+    needs one independent stream per sub-algorithm while staying reproducible
+    from a single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = check_random_state(random_state)
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

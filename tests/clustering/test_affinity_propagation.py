@@ -1,0 +1,90 @@
+"""Tests for Affinity Propagation."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.clustering.affinity_propagation import AffinityPropagation
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestAffinityPropagation:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            predicted = AffinityPropagation(
+                target_n_clusters=3, random_state=0
+            ).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.9
+
+    def test_exemplars_are_their_own_cluster(self, blobs_dataset):
+        data, _ = blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = AffinityPropagation(random_state=0).fit(data)
+        for cluster_id, exemplar in enumerate(model.cluster_centers_indices_):
+            assert model.labels_[exemplar] == cluster_id
+
+    def test_every_sample_labelled(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            labels = AffinityPropagation(random_state=0).fit_predict(data)
+        assert labels.shape == (data.shape[0],)
+        assert np.all(labels >= 0)
+
+    def test_target_n_clusters_steers_cluster_count(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = AffinityPropagation(target_n_clusters=3, random_state=0).fit(data)
+        # The bisection search should land close to the target.
+        assert 2 <= model.n_clusters_found_ <= 5
+
+    def test_preference_override(self, blobs_dataset):
+        data, _ = blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            # A very negative preference discourages exemplars -> few clusters.
+            few = AffinityPropagation(preference=-1e6, random_state=0).fit(data)
+            many = AffinityPropagation(preference=-1e-3, random_state=0).fit(data)
+        assert few.n_clusters_found_ <= many.n_clusters_found_
+
+    def test_reproducible_with_seed(self, blobs_dataset):
+        data, _ = blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            a = AffinityPropagation(random_state=5).fit_predict(data)
+            b = AffinityPropagation(random_state=5).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValidationError):
+            AffinityPropagation().fit(np.zeros((1, 3)))
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping=0.3)
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping=1.0)
+
+    def test_name(self):
+        assert AffinityPropagation().name == "AP"
+
+    def test_two_obvious_groups(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [rng.normal(0, 0.1, size=(15, 2)), rng.normal(8, 0.1, size=(15, 2))]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            labels = AffinityPropagation(random_state=0).fit_predict(data)
+        # Samples within each tight group should share a label.
+        assert len(set(labels[:15])) == 1
+        assert len(set(labels[15:])) == 1
+        assert labels[0] != labels[-1]

@@ -1,0 +1,85 @@
+"""Tests for Density Peaks clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.density_peaks import DensityPeaks
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestDensityPeaks:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = DensityPeaks(3).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.9
+
+    def test_number_of_clusters_respected(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        model = DensityPeaks(4).fit(data)
+        assert model.n_clusters_found_ == 4
+
+    def test_every_sample_assigned(self, blobs_dataset):
+        data, _ = blobs_dataset
+        labels = DensityPeaks(3).fit_predict(data)
+        assert np.all(labels >= 0)
+
+    def test_centers_have_high_decision_values(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = DensityPeaks(3).fit(data)
+        decision = model.rho_ * model.delta_
+        center_values = decision[model.center_indices_]
+        non_center = np.delete(decision, model.center_indices_)
+        assert center_values.min() >= np.percentile(non_center, 90)
+
+    def test_deterministic(self, blobs_dataset):
+        data, _ = blobs_dataset
+        a = DensityPeaks(3).fit_predict(data)
+        b = DensityPeaks(3).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_cutoff_kernel(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = DensityPeaks(3, kernel="cutoff").fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.8
+
+    def test_auto_cluster_selection(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = DensityPeaks(None).fit(data)
+        assert 1 <= model.n_clusters_found_ <= 10
+
+    def test_rho_and_delta_shapes(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = DensityPeaks(3).fit(data)
+        assert model.rho_.shape == (data.shape[0],)
+        assert model.delta_.shape == (data.shape[0],)
+        assert np.all(model.delta_ >= 0)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValidationError):
+            DensityPeaks(2, kernel="tophat")
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValidationError):
+            DensityPeaks(2, dc_percentile=0.0)
+
+    def test_too_many_clusters_raises(self):
+        data = np.random.default_rng(0).normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            DensityPeaks(10).fit(data)
+
+    def test_name(self):
+        assert DensityPeaks(2).name == "DP"
+
+    def test_members_follow_higher_density_neighbour(self):
+        # Two tight groups: assignment by nearest higher-density neighbour
+        # must keep each group together.
+        rng = np.random.default_rng(1)
+        data = np.vstack(
+            [rng.normal(0, 0.2, size=(20, 2)), rng.normal(6, 0.2, size=(20, 2))]
+        )
+        labels = DensityPeaks(2).fit_predict(data)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1

@@ -1,0 +1,83 @@
+"""Tests for the extra ensemble clusterers (agglomerative, spectral)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.hierarchical import AgglomerativeClustering
+from repro.clustering.spectral import SpectralClustering
+from repro.exceptions import ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestAgglomerative:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = AgglomerativeClustering(3).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.95
+
+    def test_number_of_clusters(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        model = AgglomerativeClustering(5).fit(data)
+        assert model.n_clusters_found_ == 5
+
+    @pytest.mark.parametrize("linkage", ["ward", "complete", "average", "single"])
+    def test_all_linkages_run(self, blobs_dataset, linkage):
+        data, _ = blobs_dataset
+        labels = AgglomerativeClustering(3, linkage=linkage).fit_predict(data)
+        assert labels.shape == (data.shape[0],)
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValidationError):
+            AgglomerativeClustering(2, linkage="centroid")
+
+    def test_labels_start_at_zero(self, blobs_dataset):
+        data, _ = blobs_dataset
+        labels = AgglomerativeClustering(3).fit_predict(data)
+        assert labels.min() == 0
+
+    def test_more_clusters_than_samples_raises(self):
+        with pytest.raises(ValidationError):
+            AgglomerativeClustering(10).fit(np.zeros((3, 2)))
+
+    def test_name_mentions_linkage(self):
+        assert "ward" in AgglomerativeClustering(2).name
+
+
+class TestSpectral:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = SpectralClustering(3, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.9
+
+    def test_number_of_clusters(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = SpectralClustering(3, random_state=0).fit(data)
+        assert model.n_clusters_found_ == 3
+
+    def test_embedding_shape(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = SpectralClustering(3, random_state=0).fit(data)
+        assert model.embedding_.shape == (data.shape[0], 3)
+
+    def test_custom_gamma(self, blobs_dataset):
+        data, _ = blobs_dataset
+        labels = SpectralClustering(3, gamma=0.5, random_state=0).fit_predict(data)
+        assert labels.shape == (data.shape[0],)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(2, gamma=-1.0)
+
+    def test_concentric_structure(self):
+        # Two rings: spectral clustering separates them, K-means-style
+        # centroid methods cannot.  This validates the graph construction.
+        rng = np.random.default_rng(0)
+        angles = rng.uniform(0, 2 * np.pi, 120)
+        radii = np.concatenate([np.full(60, 1.0), np.full(60, 6.0)])
+        radii = radii + rng.normal(0, 0.05, 120)
+        data = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        labels_true = np.concatenate([np.zeros(60, int), np.ones(60, int)])
+        predicted = SpectralClustering(2, gamma=2.0, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels_true, predicted) > 0.95

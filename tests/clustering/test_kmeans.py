@@ -1,0 +1,104 @@
+"""Tests for the K-means implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import KMeans, kmeans_plus_plus
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestKMeansPlusPlus:
+    def test_returns_requested_number_of_centers(self, blobs_dataset):
+        data, _ = blobs_dataset
+        centers = kmeans_plus_plus(data, 3, np.random.default_rng(0))
+        assert centers.shape == (3, data.shape[1])
+
+    def test_centers_are_data_points(self, blobs_dataset):
+        data, _ = blobs_dataset
+        centers = kmeans_plus_plus(data, 4, np.random.default_rng(1))
+        for center in centers:
+            assert np.any(np.all(np.isclose(data, center), axis=1))
+
+    def test_duplicate_data_does_not_crash(self):
+        data = np.tile([[1.0, 2.0]], (20, 1))
+        centers = kmeans_plus_plus(data, 3, np.random.default_rng(2))
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = KMeans(3, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.95
+
+    def test_labels_in_range(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = KMeans(3, random_state=0).fit(data)
+        assert set(np.unique(model.labels_)) <= {0, 1, 2}
+
+    def test_produces_exactly_k_clusters(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        model = KMeans(5, random_state=0).fit(data)
+        assert model.n_clusters_found_ == 5
+
+    def test_inertia_decreases_with_more_clusters(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        inertia_2 = KMeans(2, random_state=0).fit(data).inertia_
+        inertia_6 = KMeans(6, random_state=0).fit(data).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_reproducible_with_seed(self, blobs_dataset):
+        data, _ = blobs_dataset
+        a = KMeans(3, random_state=7).fit_predict(data)
+        b = KMeans(3, random_state=7).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_predict_assigns_nearest_center(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = KMeans(3, random_state=0).fit(data)
+        predictions = model.predict(model.cluster_centers_)
+        np.testing.assert_array_equal(predictions, np.arange(3))
+
+    def test_centers_shape(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = KMeans(3, random_state=0).fit(data)
+        assert model.cluster_centers_.shape == (3, data.shape[1])
+
+    def test_single_cluster(self, blobs_dataset):
+        data, _ = blobs_dataset
+        labels = KMeans(1, random_state=0).fit_predict(data)
+        assert np.all(labels == 0)
+
+    def test_more_clusters_than_samples_raises(self):
+        data = np.random.default_rng(0).normal(size=(4, 2))
+        with pytest.raises(ValidationError):
+            KMeans(10, random_state=0).fit(data)
+
+    def test_not_fitted_predict_raises(self):
+        model = KMeans(2)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+        with pytest.raises(ValidationError):
+            KMeans(2, n_init=0)
+        with pytest.raises(ValidationError):
+            KMeans(2, tol=-1.0)
+
+    def test_constant_data(self):
+        data = np.ones((10, 3))
+        labels = KMeans(2, random_state=0, n_init=2).fit_predict(data)
+        assert labels.shape == (10,)
+
+    def test_fit_returns_self(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = KMeans(3, random_state=0)
+        assert model.fit(data) is model
+
+    def test_name(self):
+        assert KMeans(2).name == "K-means"

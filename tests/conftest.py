@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (tens to a few hundred samples) so that
+the whole suite stays fast; the full-size paper experiments live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_blobs, make_overlapping_binary_clusters
+from repro.supervision.local_supervision import LocalSupervision
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by randomised tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blobs_dataset() -> tuple[np.ndarray, np.ndarray]:
+    """Well-separated 3-class Gaussian blobs (90 x 5)."""
+    return make_blobs(
+        90, 5, 3, cluster_std=0.5, center_spread=6.0, random_state=7
+    )
+
+
+@pytest.fixture
+def hard_blobs_dataset() -> tuple[np.ndarray, np.ndarray]:
+    """Overlapping 3-class Gaussian blobs (120 x 8)."""
+    return make_blobs(
+        120, 8, 3, cluster_std=2.0, center_spread=3.0, random_state=11
+    )
+
+
+@pytest.fixture
+def binary_dataset() -> tuple[np.ndarray, np.ndarray]:
+    """Binary 2-class dataset (80 x 12) suitable for BernoulliRBM tests."""
+    return make_overlapping_binary_clusters(
+        80, 12, 2, flip_probability=0.1, random_state=3
+    )
+
+
+@pytest.fixture
+def simple_supervision() -> LocalSupervision:
+    """Supervision over 10 samples: clusters {0,1,2}, {5,6,7}, rest uncovered."""
+    labels = np.array([0, 0, 0, -1, -1, 1, 1, 1, -1, -1])
+    return LocalSupervision.from_labels(labels, metadata={"source": "fixture"})
+
+
+@pytest.fixture
+def three_cluster_labels() -> np.ndarray:
+    """Ground-truth labels for 12 samples in 3 balanced classes."""
+    return np.repeat([0, 1, 2], 4)

@@ -1,0 +1,92 @@
+"""Tests for FrameworkConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
+from repro.exceptions import ValidationError
+
+
+class TestFrameworkConfig:
+    def test_defaults_are_valid(self):
+        config = FrameworkConfig()
+        assert config.model == "sls_grbm"
+        assert config.uses_supervision
+        assert config.is_gaussian
+
+    def test_paper_configs(self):
+        assert GRBM_PAPER_CONFIG.eta == pytest.approx(0.4)
+        assert GRBM_PAPER_CONFIG.learning_rate == pytest.approx(1e-4)
+        assert RBM_PAPER_CONFIG.eta == pytest.approx(0.5)
+        assert RBM_PAPER_CONFIG.preprocessing == "median_binarize"
+        assert RBM_PAPER_CONFIG.supervision_preprocessing == "standardize"
+
+    @pytest.mark.parametrize(
+        "model, uses_supervision, is_gaussian",
+        [
+            ("sls_grbm", True, True),
+            ("sls_rbm", True, False),
+            ("grbm", False, True),
+            ("rbm", False, False),
+        ],
+    )
+    def test_model_flags(self, model, uses_supervision, is_gaussian):
+        config = FrameworkConfig(model=model)
+        assert config.uses_supervision is uses_supervision
+        assert config.is_gaussian is is_gaussian
+
+    def test_invalid_model(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(model="vae")
+
+    def test_invalid_preprocessing(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(preprocessing="whiten")
+
+    def test_invalid_supervision_preprocessing(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(supervision_preprocessing="whiten")
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(eta=0.0)
+        with pytest.raises(ValidationError):
+            FrameworkConfig(eta=1.0)
+
+    def test_invalid_voting(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(voting="random")
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(learning_rate=0.0)
+
+    def test_invalid_integers(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(n_hidden=0)
+        with pytest.raises(ValidationError):
+            FrameworkConfig(n_epochs=-1)
+
+    def test_empty_clusterers(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig(clusterers=())
+
+    def test_with_overrides(self):
+        config = FrameworkConfig(eta=0.4)
+        new = config.with_overrides(eta=0.7, n_hidden=32)
+        assert new.eta == 0.7 and new.n_hidden == 32
+        assert config.eta == 0.4  # original unchanged
+
+    def test_as_dict_round_trip(self):
+        config = FrameworkConfig(model="sls_rbm", n_hidden=10)
+        rebuilt = FrameworkConfig(**{
+            key: (tuple(value) if key == "clusterers" else value)
+            for key, value in config.as_dict().items()
+        })
+        assert rebuilt == config
+
+    def test_frozen(self):
+        config = FrameworkConfig()
+        with pytest.raises(AttributeError):
+            config.eta = 0.9  # type: ignore[misc]

@@ -1,0 +1,156 @@
+"""Tests for the end-to-end SelfLearningEncodingFramework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import NotFittedError, ValidationError
+from repro.supervision.local_supervision import LocalSupervision
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        model="sls_grbm",
+        n_hidden=8,
+        n_epochs=3,
+        batch_size=32,
+        learning_rate=0.01,
+        clusterers=("kmeans", "agglomerative"),
+        random_state=0,
+    )
+    defaults.update(overrides)
+    return FrameworkConfig(**defaults)
+
+
+class TestFrameworkStages:
+    def test_preprocess_standardize(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        out = framework.preprocess(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_preprocess_none(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        framework = SelfLearningEncodingFramework(
+            _fast_config(preprocessing="none"), n_clusters=3
+        )
+        np.testing.assert_array_equal(framework.preprocess(data), data)
+
+    def test_supervision_preprocessing_falls_back(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        np.testing.assert_allclose(
+            framework.preprocess_for_supervision(data), framework.preprocess(data)
+        )
+
+    def test_separate_supervision_preprocessing(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        config = _fast_config(
+            model="sls_rbm",
+            preprocessing="median_binarize",
+            supervision_preprocessing="standardize",
+            learning_rate=0.05,
+        )
+        framework = SelfLearningEncodingFramework(config, n_clusters=3)
+        binary = framework.preprocess(data)
+        real = framework.preprocess_for_supervision(data)
+        assert set(np.unique(binary)) <= {0.0, 1.0}
+        assert not set(np.unique(real)) <= {0.0, 1.0}
+
+    def test_build_supervision(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        supervision = framework.build_supervision(framework.preprocess(data))
+        assert isinstance(supervision, LocalSupervision)
+        assert supervision.n_samples == data.shape[0]
+
+    def test_build_model_types(self):
+        from repro.rbm import BernoulliRBM, GaussianRBM, SlsGRBM, SlsRBM
+
+        cases = {
+            "sls_grbm": SlsGRBM,
+            "sls_rbm": SlsRBM,
+            "grbm": GaussianRBM,
+            "rbm": BernoulliRBM,
+        }
+        for model_name, expected in cases.items():
+            preprocessing = "median_binarize" if "rbm" == model_name or model_name == "sls_rbm" else "standardize"
+            framework = SelfLearningEncodingFramework(
+                _fast_config(model=model_name, preprocessing=preprocessing), n_clusters=3
+            )
+            assert isinstance(framework.build_model(), expected)
+
+
+class TestFrameworkFit:
+    def test_fit_transform_shape(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        features = framework.fit_transform(data)
+        assert features.shape == (data.shape[0], 8)
+
+    def test_supervision_built_automatically(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        framework.fit(data)
+        assert framework.supervision_ is not None
+        assert framework.supervision_.coverage > 0.5
+
+    def test_plain_model_never_builds_supervision(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(
+            _fast_config(model="grbm"), n_clusters=3
+        )
+        framework.fit(data)
+        assert framework.supervision_ is None
+
+    def test_explicit_supervision_is_used(self, blobs_dataset):
+        data, labels = blobs_dataset
+        supervision = LocalSupervision.from_full_partition(labels)
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        framework.fit(data, supervision=supervision)
+        assert framework.supervision_ is supervision
+
+    def test_transform_new_data(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        framework.fit(data)
+        new = framework.transform(data[:10])
+        assert new.shape == (10, 8)
+
+    def test_transform_before_fit_raises(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        with pytest.raises(NotFittedError):
+            framework.transform(data)
+
+    def test_encode_returns_structured_result(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = SelfLearningEncodingFramework(_fast_config(), n_clusters=3)
+        result = framework.encode(data)
+        assert isinstance(result, EncodingResult)
+        assert result.features.shape == (data.shape[0], 8)
+        assert np.isfinite(result.reconstruction_error)
+        assert result.config is framework.config
+
+    def test_invalid_config_type(self):
+        with pytest.raises(ValidationError):
+            SelfLearningEncodingFramework({"model": "rbm"}, n_clusters=3)
+
+    def test_reproducibility(self, blobs_dataset):
+        data, _ = blobs_dataset
+        a = SelfLearningEncodingFramework(_fast_config(), n_clusters=3).fit_transform(data)
+        b = SelfLearningEncodingFramework(_fast_config(), n_clusters=3).fit_transform(data)
+        np.testing.assert_allclose(a, b)
+
+    def test_degenerate_supervision_falls_back_to_unsupervised(self):
+        # Two clusterers that will never unanimously agree on anything:
+        # random uniform data with many clusters requested.
+        data, _ = make_blobs(40, 3, 1, cluster_std=1.0, random_state=0)
+        config = _fast_config(clusterers=("kmeans", "spectral"), n_epochs=2)
+        framework = SelfLearningEncodingFramework(config, n_clusters=8)
+        framework.fit(data)  # must not raise even if agreement is poor
+        assert hasattr(framework, "model_")

@@ -1,0 +1,90 @@
+"""Tests for the ClusteringPipeline evaluation cell."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline, PipelineResult
+from repro.datasets.base import Dataset
+
+
+@pytest.fixture
+def small_dataset(blobs_dataset):
+    data, labels = blobs_dataset
+    return Dataset("blobs", "BL", data, labels)
+
+
+def _framework(model="sls_grbm", **overrides):
+    defaults = dict(
+        model=model,
+        n_hidden=8,
+        n_epochs=3,
+        batch_size=32,
+        learning_rate=0.01,
+        clusterers=("kmeans", "agglomerative"),
+        random_state=0,
+    )
+    defaults.update(overrides)
+    return SelfLearningEncodingFramework(FrameworkConfig(**defaults), n_clusters=3)
+
+
+class TestAlgorithmNaming:
+    def test_raw_clusterer_names(self):
+        assert ClusteringPipeline("dp", n_clusters=3).algorithm_name == "DP"
+        assert ClusteringPipeline("kmeans", n_clusters=3).algorithm_name == "K-means"
+        assert ClusteringPipeline("ap", n_clusters=3).algorithm_name == "AP"
+
+    def test_combined_names(self):
+        assert (
+            ClusteringPipeline("dp", framework=_framework("sls_grbm"), n_clusters=3).algorithm_name
+            == "DP+slsGRBM"
+        )
+        assert (
+            ClusteringPipeline("kmeans", framework=_framework("grbm"), n_clusters=3).algorithm_name
+            == "K-means+GRBM"
+        )
+        assert (
+            ClusteringPipeline(
+                "ap",
+                framework=_framework("sls_rbm", preprocessing="median_binarize"),
+                n_clusters=3,
+            ).algorithm_name
+            == "AP+slsRBM"
+        )
+
+
+class TestPipelineRun:
+    def test_raw_pipeline(self, small_dataset):
+        result = ClusteringPipeline("kmeans", n_clusters=3, random_state=0).run(
+            small_dataset
+        )
+        assert isinstance(result, PipelineResult)
+        assert result.dataset == "BL"
+        assert result.labels.shape == (small_dataset.n_samples,)
+        assert result.report.accuracy > 0.9  # easy blobs
+
+    def test_framework_pipeline(self, small_dataset):
+        pipeline = ClusteringPipeline(
+            "kmeans", framework=_framework(), n_clusters=3, random_state=0
+        )
+        result = pipeline.run(small_dataset)
+        assert 0.0 <= result.report.accuracy <= 1.0
+        assert result.algorithm == "K-means+slsGRBM"
+
+    def test_dp_pipeline(self, small_dataset):
+        result = ClusteringPipeline("dp", n_clusters=3).run(small_dataset)
+        assert result.report.accuracy > 0.8
+
+    def test_report_contains_all_metrics(self, small_dataset):
+        result = ClusteringPipeline("kmeans", n_clusters=3).run(small_dataset)
+        assert set(result.report.as_dict()) == {
+            "accuracy",
+            "purity",
+            "rand",
+            "adjusted_rand",
+            "fmi",
+            "nmi",
+        }

@@ -1,0 +1,81 @@
+"""Tests for the Dataset / DatasetSuite containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, DatasetSuite
+from repro.exceptions import DatasetError, ValidationError
+
+
+def _make_dataset(abbreviation="DS", n=10, d=3, k=2):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name=f"dataset-{abbreviation}",
+        abbreviation=abbreviation,
+        data=rng.normal(size=(n, d)),
+        labels=rng.integers(0, k, size=n),
+        metadata={"synthetic": True},
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        dataset = _make_dataset(n=12, d=4, k=3)
+        assert dataset.n_samples == 12
+        assert dataset.n_features == 4
+        assert dataset.n_classes <= 3
+
+    def test_summary_matches_paper_columns(self):
+        summary = _make_dataset().summary()
+        assert set(summary) == {"name", "abbreviation", "classes", "instances", "features"}
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            Dataset("x", "X", np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_nan_data_rejected(self):
+        data = np.zeros((3, 2))
+        data[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            Dataset("x", "X", data, np.zeros(3, dtype=int))
+
+    def test_is_frozen(self):
+        dataset = _make_dataset()
+        with pytest.raises(AttributeError):
+            dataset.name = "other"  # type: ignore[misc]
+
+
+class TestDatasetSuite:
+    def test_iteration_order(self):
+        suite = DatasetSuite("suite", [_make_dataset("A"), _make_dataset("B")])
+        assert [d.abbreviation for d in suite] == ["A", "B"]
+
+    def test_lookup_by_abbreviation_and_index(self):
+        a, b = _make_dataset("A"), _make_dataset("B")
+        suite = DatasetSuite("suite", [a, b])
+        assert suite["B"] is b
+        assert suite[0] is a
+
+    def test_unknown_abbreviation_raises(self):
+        suite = DatasetSuite("suite", [_make_dataset("A")])
+        with pytest.raises(DatasetError):
+            suite["Z"]
+
+    def test_duplicate_abbreviations_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetSuite("suite", [_make_dataset("A"), _make_dataset("A")])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetSuite("suite", [])
+
+    def test_summary_table_has_numbering(self):
+        suite = DatasetSuite("suite", [_make_dataset("A"), _make_dataset("B")])
+        rows = suite.summary_table()
+        assert [row["No."] for row in rows] == [1, 2]
+
+    def test_len(self):
+        suite = DatasetSuite("suite", [_make_dataset("A"), _make_dataset("B")])
+        assert len(suite) == 2

@@ -1,0 +1,99 @@
+"""Tests for the preprocessing transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets.preprocessing import (
+    binarize,
+    clip_unit_interval,
+    median_binarize,
+    minmax_scale,
+    standardize,
+)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        out = standardize(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_handled(self):
+        data = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        out = standardize(data)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_shape_preserved(self):
+        out = standardize(np.random.default_rng(1).normal(size=(7, 3)))
+        assert out.shape == (7, 3)
+
+    @given(arrays(np.float64, st.tuples(st.integers(2, 30), st.integers(1, 5)),
+                  elements=st.floats(-1e3, 1e3)))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_on_varying_features(self, data):
+        out = standardize(data)
+        twice = standardize(out)
+        np.testing.assert_allclose(out, twice, atol=1e-6)
+
+
+class TestMinMaxScale:
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        out = minmax_scale(rng.normal(size=(50, 3)))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_custom_range(self):
+        out = minmax_scale(np.array([[0.0], [10.0]]), feature_range=(-1.0, 1.0))
+        np.testing.assert_allclose(out.ravel(), [-1.0, 1.0])
+
+    def test_constant_feature_maps_to_midpoint(self):
+        out = minmax_scale(np.full((5, 1), 3.0))
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            minmax_scale(np.zeros((2, 2)), feature_range=(1.0, 0.0))
+
+
+class TestBinarize:
+    def test_threshold(self):
+        out = binarize(np.array([[0.2, 0.7], [0.5, 0.9]]), threshold=0.5)
+        np.testing.assert_array_equal(out, [[0.0, 1.0], [0.0, 1.0]])
+
+    def test_output_is_binary(self):
+        rng = np.random.default_rng(3)
+        out = binarize(rng.random((20, 4)))
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+
+class TestMedianBinarize:
+    def test_balanced_activation(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(101, 6))
+        out = median_binarize(data)
+        rates = out.mean(axis=0)
+        assert np.all(rates > 0.3) and np.all(rates < 0.7)
+
+    def test_binary_output(self):
+        rng = np.random.default_rng(5)
+        out = median_binarize(rng.normal(size=(30, 3)))
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_already_binary_data(self):
+        data = np.array([[0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        out = median_binarize(data)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+
+class TestClipUnitInterval:
+    def test_clipping(self):
+        out = clip_unit_interval(np.array([[-0.5, 0.5, 1.5]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.5, 1.0]])

@@ -1,0 +1,122 @@
+"""Tests for the MSRA-MM-like and UCI-like dataset suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.msra_mm import MSRA_MM_SPECS, load_msra_mm_dataset, load_msra_mm_suite
+from repro.datasets.uci import UCI_SPECS, load_uci_dataset, load_uci_suite
+from repro.exceptions import DatasetError
+
+
+class TestMsraMmSpecs:
+    def test_nine_datasets(self):
+        assert len(MSRA_MM_SPECS) == 9
+
+    def test_paper_table_ii_shapes(self):
+        by_abbr = {s.abbreviation: s for s in MSRA_MM_SPECS}
+        assert by_abbr["BO"].n_samples == 896 and by_abbr["BO"].n_features == 892
+        assert by_abbr["WA"].n_samples == 922 and by_abbr["WA"].n_features == 899
+        assert by_abbr["VI"].n_samples == 799
+        assert all(s.n_classes == 3 for s in MSRA_MM_SPECS)
+
+
+class TestLoadMsraMm:
+    def test_scaled_load_shapes(self):
+        dataset = load_msra_mm_dataset("BO", scale=0.1)
+        assert dataset.n_samples == round(896 * 0.1)
+        assert dataset.n_features == round(892 * 0.1)
+        assert dataset.n_classes == 3
+
+    def test_full_scale_matches_spec(self):
+        dataset = load_msra_mm_dataset("VI", scale=1.0)
+        assert dataset.n_samples == 799
+        assert dataset.n_features == 899
+
+    def test_reproducible(self):
+        a = load_msra_mm_dataset("WA", scale=0.05, random_state=1)
+        b = load_msra_mm_dataset("WA", scale=0.05, random_state=1)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_different_datasets_differ(self):
+        a = load_msra_mm_dataset("BO", scale=0.05, random_state=0)
+        b = load_msra_mm_dataset("WR", scale=0.05, random_state=0)
+        assert a.data.shape != b.data.shape or not np.allclose(
+            a.data[: min(len(a.data), len(b.data))],
+            b.data[: min(len(a.data), len(b.data))],
+        )
+
+    def test_unknown_abbreviation(self):
+        with pytest.raises(DatasetError):
+            load_msra_mm_dataset("XX")
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_msra_mm_dataset("BO", scale=0.0)
+
+    def test_metadata_marks_synthetic(self):
+        dataset = load_msra_mm_dataset("BO", scale=0.05)
+        assert dataset.metadata["synthetic"] is True
+        assert dataset.metadata["paper_table"] == "II"
+
+    def test_suite_contains_all_nine(self):
+        suite = load_msra_mm_suite(scale=0.05)
+        assert len(suite) == 9
+        assert suite.abbreviations == [s.abbreviation for s in MSRA_MM_SPECS]
+
+
+class TestUciSpecs:
+    def test_six_datasets(self):
+        assert len(UCI_SPECS) == 6
+
+    def test_paper_table_iii_shapes(self):
+        by_abbr = {s.abbreviation: s for s in UCI_SPECS}
+        assert by_abbr["HS"].n_samples == 306 and by_abbr["HS"].n_features == 3
+        assert by_abbr["QB"].n_samples == 1055 and by_abbr["QB"].n_features == 41
+        assert by_abbr["BCW"].n_samples == 569 and by_abbr["BCW"].n_features == 32
+        assert by_abbr["IR"].n_samples == 150 and by_abbr["IR"].n_classes == 3
+
+
+class TestLoadUci:
+    def test_full_scale_shapes(self):
+        dataset = load_uci_dataset("SH")
+        assert dataset.n_samples == 267
+        assert dataset.n_features == 22
+        assert dataset.n_classes == 2
+
+    def test_iris_analogue_is_easy(self):
+        from repro.clustering import KMeans
+        from repro.metrics import clustering_accuracy
+
+        dataset = load_uci_dataset("IR")
+        predicted = KMeans(3, random_state=0).fit_predict(dataset.data)
+        assert clustering_accuracy(dataset.labels, predicted) > 0.85
+
+    def test_binary_generator_produces_binary_features(self):
+        dataset = load_uci_dataset("SC")
+        assert set(np.unique(dataset.data)) <= {0.0, 1.0}
+
+    def test_class_imbalance_preserved(self):
+        dataset = load_uci_dataset("SC")
+        counts = np.bincount(dataset.labels)
+        assert counts.max() / counts.sum() > 0.75  # SC is highly imbalanced
+
+    def test_reproducible(self):
+        a = load_uci_dataset("QB", scale=0.2, random_state=3)
+        b = load_uci_dataset("QB", scale=0.2, random_state=3)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_unknown_abbreviation(self):
+        with pytest.raises(DatasetError):
+            load_uci_dataset("ABC")
+
+    def test_suite_order(self):
+        suite = load_uci_suite(scale=0.3)
+        assert suite.abbreviations == ["HS", "QB", "SH", "SC", "BCW", "IR"]
+
+    def test_summary_table(self):
+        suite = load_uci_suite(scale=0.3)
+        rows = suite.summary_table()
+        assert len(rows) == 6
+        assert rows[5]["abbreviation"] == "IR"

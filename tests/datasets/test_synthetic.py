@@ -1,0 +1,125 @@
+"""Tests for the synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    make_blobs,
+    make_high_dimensional_mixture,
+    make_overlapping_binary_clusters,
+)
+from repro.metrics import clustering_accuracy
+from repro.clustering import KMeans
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        data, labels = make_blobs(50, 4, 3, random_state=0)
+        assert data.shape == (50, 4)
+        assert labels.shape == (50,)
+
+    def test_all_classes_present(self):
+        _, labels = make_blobs(60, 3, 4, random_state=0)
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+
+    def test_weights_control_class_sizes(self):
+        _, labels = make_blobs(100, 2, 2, weights=[0.8, 0.2], random_state=0)
+        counts = np.bincount(labels)
+        assert counts[0] == 80 and counts[1] == 20
+
+    def test_reproducible(self):
+        a = make_blobs(30, 2, 2, random_state=5)
+        b = make_blobs(30, 2, 2, random_state=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_separated_blobs_are_clusterable(self):
+        data, labels = make_blobs(90, 5, 3, cluster_std=0.3, center_spread=8.0,
+                                  random_state=1)
+        predicted = KMeans(3, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.95
+
+    @given(st.integers(5, 60), st.integers(1, 6), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_always_sum_to_n(self, n, d, k):
+        data, labels = make_blobs(n, d, k, random_state=0)
+        assert data.shape == (n, d)
+        assert labels.shape == (n,)
+        assert np.bincount(labels, minlength=k).sum() == n
+
+
+class TestHighDimensionalMixture:
+    def test_shapes_and_nonnegativity(self):
+        data, labels = make_high_dimensional_mixture(80, 200, 3, random_state=0)
+        assert data.shape == (80, 200)
+        assert labels.shape == (80,)
+        assert data.min() >= 0.0
+
+    def test_informative_cap(self):
+        data, _ = make_high_dimensional_mixture(
+            30, 10, 2, n_informative=50, random_state=0
+        )
+        assert data.shape == (30, 10)
+
+    def test_difficulty_increases_with_noise(self):
+        easy_data, easy_labels = make_high_dimensional_mixture(
+            150, 60, 3, separation=6.0, noise_std=0.3, random_state=2
+        )
+        hard_data, hard_labels = make_high_dimensional_mixture(
+            150, 60, 3, separation=1.0, noise_std=2.0, random_state=2
+        )
+        easy_acc = clustering_accuracy(
+            easy_labels, KMeans(3, random_state=0).fit_predict(easy_data)
+        )
+        hard_acc = clustering_accuracy(
+            hard_labels, KMeans(3, random_state=0).fit_predict(hard_data)
+        )
+        assert easy_acc > hard_acc
+
+    def test_class_imbalance(self):
+        _, labels = make_high_dimensional_mixture(
+            100, 20, 3, weights=np.array([0.5, 0.3, 0.2]), random_state=0
+        )
+        counts = np.bincount(labels)
+        assert counts[0] > counts[1] > counts[2]
+
+
+class TestOverlappingBinaryClusters:
+    def test_values_are_binary(self):
+        data, _ = make_overlapping_binary_clusters(40, 15, 2, random_state=0)
+        assert set(np.unique(data)) <= {0.0, 1.0}
+
+    def test_shapes(self):
+        data, labels = make_overlapping_binary_clusters(40, 15, 3, random_state=0)
+        assert data.shape == (40, 15)
+        assert labels.shape == (40,)
+
+    def test_low_noise_is_easy(self):
+        data, labels = make_overlapping_binary_clusters(
+            100, 30, 2, flip_probability=0.02, random_state=1
+        )
+        predicted = KMeans(2, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.95
+
+    def test_flip_probability_controls_overlap(self):
+        easy = make_overlapping_binary_clusters(
+            120, 30, 2, flip_probability=0.05, random_state=3
+        )
+        hard = make_overlapping_binary_clusters(
+            120, 30, 2, flip_probability=0.45, random_state=3
+        )
+        easy_acc = clustering_accuracy(
+            easy[1], KMeans(2, random_state=0).fit_predict(easy[0])
+        )
+        hard_acc = clustering_accuracy(
+            hard[1], KMeans(2, random_state=0).fit_predict(hard[0])
+        )
+        assert easy_acc > hard_acc
+
+    def test_invalid_sizes(self):
+        with pytest.raises(Exception):
+            make_overlapping_binary_clusters(0, 5, 2)

@@ -1,0 +1,84 @@
+"""Tests for the ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ValidationError
+from repro.experiments.ablation import (
+    raw_baseline,
+    run_clusterer_count_ablation,
+    run_eta_ablation,
+    run_voting_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> Dataset:
+    data, labels = make_blobs(60, 6, 3, cluster_std=1.0, center_spread=4.0, random_state=1)
+    return Dataset("ablation-blobs", "AB", data, labels)
+
+
+@pytest.fixture(scope="module")
+def base_config() -> FrameworkConfig:
+    return FrameworkConfig(
+        model="sls_grbm",
+        n_hidden=8,
+        n_epochs=3,
+        batch_size=32,
+        learning_rate=0.01,
+        clusterers=("kmeans", "agglomerative"),
+        random_state=0,
+    )
+
+
+class TestEtaAblation:
+    def test_returns_profile_per_eta(self, dataset, base_config):
+        results = run_eta_ablation(dataset, etas=(0.3, 0.7), base_config=base_config)
+        assert set(results) == {0.3, 0.7}
+        for profile in results.values():
+            assert 0.0 <= profile["accuracy"] <= 1.0
+
+    def test_requires_sls_model(self, dataset, base_config):
+        with pytest.raises(ValidationError):
+            run_eta_ablation(
+                dataset, base_config=base_config.with_overrides(model="grbm")
+            )
+
+
+class TestVotingAblation:
+    def test_both_strategies_evaluated(self, dataset, base_config):
+        results = run_voting_ablation(dataset, base_config=base_config)
+        assert set(results) == {"unanimous", "majority"}
+
+    def test_requires_sls_model(self, dataset, base_config):
+        with pytest.raises(ValidationError):
+            run_voting_ablation(
+                dataset, base_config=base_config.with_overrides(model="rbm",
+                                                                preprocessing="median_binarize")
+            )
+
+
+class TestClustererCountAblation:
+    def test_ensembles_evaluated(self, dataset, base_config):
+        ensembles = (("kmeans",), ("kmeans", "agglomerative"))
+        results = run_clusterer_count_ablation(
+            dataset, base_config=base_config, ensembles=ensembles
+        )
+        assert set(results) == {"kmeans", "kmeans+agglomerative"}
+
+    def test_requires_sls_model(self, dataset, base_config):
+        with pytest.raises(ValidationError):
+            run_clusterer_count_ablation(
+                dataset, base_config=base_config.with_overrides(model="grbm")
+            )
+
+
+class TestRawBaseline:
+    def test_baseline_profile(self, dataset):
+        profile = raw_baseline(dataset)
+        assert 0.0 <= profile["accuracy"] <= 1.0
+        assert 0.0 <= profile["fmi"] <= 1.0

@@ -1,0 +1,73 @@
+"""Tests for the algorithm grid builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ClusteringPipeline
+from repro.exceptions import ValidationError
+from repro.experiments.grids import (
+    DATASETS_I_ALGORITHMS,
+    DATASETS_II_ALGORITHMS,
+    build_algorithm,
+    build_algorithm_grid,
+)
+
+
+class TestAlgorithmNames:
+    def test_datasets_i_has_nine_columns(self):
+        assert len(DATASETS_I_ALGORITHMS) == 9
+        assert DATASETS_I_ALGORITHMS[0] == "DP"
+        assert DATASETS_I_ALGORITHMS[-1] == "AP+slsGRBM"
+
+    def test_datasets_ii_has_nine_columns(self):
+        assert len(DATASETS_II_ALGORITHMS) == 9
+        assert "DP+slsRBM" in DATASETS_II_ALGORITHMS
+        assert all("GRBM" not in name for name in DATASETS_II_ALGORITHMS)
+
+
+class TestBuildAlgorithm:
+    def test_raw_algorithm_has_no_framework(self):
+        pipeline = build_algorithm("DP", 3)
+        assert isinstance(pipeline, ClusteringPipeline)
+        assert pipeline.framework is None
+        assert pipeline.algorithm_name == "DP"
+
+    def test_grbm_algorithm_configuration(self):
+        pipeline = build_algorithm("K-means+GRBM", 3, n_hidden=16, n_epochs=5)
+        config = pipeline.framework.config
+        assert config.model == "grbm"
+        assert config.n_hidden == 16
+        assert config.preprocessing == "standardize"
+        assert pipeline.algorithm_name == "K-means+GRBM"
+
+    def test_sls_grbm_uses_paper_eta(self):
+        pipeline = build_algorithm("DP+slsGRBM", 3)
+        assert pipeline.framework.config.eta == pytest.approx(0.4)
+
+    def test_sls_rbm_uses_paper_eta_and_binarisation(self):
+        pipeline = build_algorithm("AP+slsRBM", 2)
+        config = pipeline.framework.config
+        assert config.eta == pytest.approx(0.5)
+        assert config.preprocessing == "median_binarize"
+        assert config.supervision_preprocessing == "standardize"
+
+    def test_config_overrides(self):
+        pipeline = build_algorithm(
+            "K-means+slsGRBM", 3, config_overrides={"eta": 0.7, "voting": "majority"}
+        )
+        assert pipeline.framework.config.eta == pytest.approx(0.7)
+        assert pipeline.framework.config.voting == "majority"
+
+    def test_unknown_clusterer(self):
+        with pytest.raises(ValidationError):
+            build_algorithm("DBSCAN+slsGRBM", 3)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValidationError):
+            build_algorithm("DP+VAE", 3)
+
+    def test_build_grid(self):
+        grid = build_algorithm_grid(DATASETS_I_ALGORITHMS, 3, n_hidden=8, n_epochs=2)
+        assert set(grid) == set(DATASETS_I_ALGORITHMS)
+        assert all(isinstance(p, ClusteringPipeline) for p in grid.values())

@@ -1,0 +1,128 @@
+"""Tests for the experiment runner, table container, figure extraction and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, DatasetSuite
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ValidationError
+from repro.experiments.figures import figure_average_bars, figure_series
+from repro.experiments.reporting import format_summary_table, format_table
+from repro.experiments.runner import ExperimentCell, ExperimentRunner, ExperimentTable
+
+#: A tiny algorithm grid that exercises raw, plain-model and sls-model cells
+#: without the cost of the full nine-column grid.
+SMALL_GRID = ("K-means", "K-means+GRBM", "K-means+slsGRBM")
+
+
+@pytest.fixture(scope="module")
+def tiny_suite() -> DatasetSuite:
+    datasets = []
+    for index, abbreviation in enumerate(["S1", "S2"]):
+        data, labels = make_blobs(
+            60, 6, 3, cluster_std=1.2, center_spread=4.0, random_state=index
+        )
+        datasets.append(Dataset(f"synthetic-{index}", abbreviation, data, labels))
+    return DatasetSuite("tiny", datasets)
+
+
+@pytest.fixture(scope="module")
+def small_table(tiny_suite) -> ExperimentTable:
+    runner = ExperimentRunner(
+        SMALL_GRID, n_repeats=1, n_hidden=8, n_epochs=3, batch_size=32, random_state=0
+    )
+    return runner.run_suite(tiny_suite)
+
+
+class TestExperimentRunner:
+    def test_table_contains_every_cell(self, small_table, tiny_suite):
+        for dataset in tiny_suite.abbreviations:
+            for algorithm in SMALL_GRID:
+                assert (dataset, algorithm) in small_table
+
+    def test_cell_metrics_in_unit_interval(self, small_table):
+        cell = small_table.cell("S1", "K-means")
+        for metric, value in cell.mean.items():
+            if metric != "adjusted_rand":
+                assert 0.0 <= value <= 1.0, metric
+
+    def test_repeats_produce_variance(self, tiny_suite):
+        runner = ExperimentRunner(
+            ("K-means",), n_repeats=3, n_hidden=8, n_epochs=2, random_state=0
+        )
+        cell = runner.run_cell(tiny_suite[0], "K-means")
+        assert cell.n_repeats == 3
+        assert len(cell.reports) == 3
+        assert all(v >= 0.0 for v in cell.variance.values())
+
+    def test_unknown_metric_raises(self, small_table):
+        with pytest.raises(ValidationError):
+            small_table.cell("S1", "K-means").value("f1")
+
+    def test_missing_cell_raises(self, small_table):
+        with pytest.raises(ValidationError):
+            small_table.cell("S1", "DP")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentRunner(())
+
+
+class TestExperimentTable:
+    def test_metric_matrix_shape(self, small_table):
+        matrix = small_table.metric_matrix("accuracy")
+        assert matrix.shape == (2, 3)
+        assert np.all(np.isfinite(matrix))
+
+    def test_rows_include_average(self, small_table):
+        rows = small_table.rows("accuracy")
+        assert rows[-1]["dataset"] == "Average"
+        assert len(rows) == 3
+
+    def test_column_averages_match_matrix(self, small_table):
+        averages = small_table.column_averages("accuracy")
+        matrix = small_table.metric_matrix("accuracy")
+        for j, algorithm in enumerate(small_table.algorithm_order):
+            assert averages[algorithm] == pytest.approx(np.mean(matrix[:, j]))
+
+    def test_dataset_series_length(self, small_table):
+        series = small_table.dataset_series("accuracy", "K-means")
+        assert len(series) == 2
+
+
+class TestFigureExtraction:
+    def test_figure_series_layout(self, small_table):
+        panels = figure_series(small_table, "accuracy", model_suffix="GRBM")
+        assert "K-means" in panels
+        assert set(panels["K-means"]) == {"K-means", "K-means+GRBM", "K-means+slsGRBM"}
+        assert all(len(v) == 2 for v in panels["K-means"].values())
+
+    def test_figure_series_invalid_suffix(self, small_table):
+        with pytest.raises(ValidationError):
+            figure_series(small_table, "accuracy", model_suffix="VAE")
+
+    def test_figure_average_bars(self, small_table):
+        bars = figure_average_bars(small_table, ("accuracy", "purity"))
+        assert set(bars) == {"accuracy", "purity"}
+        assert set(bars["accuracy"]) == set(SMALL_GRID)
+
+
+class TestReporting:
+    def test_format_table_contains_all_columns(self, small_table):
+        text = format_table(small_table, "accuracy", title="Table X")
+        assert "Table X" in text
+        for algorithm in SMALL_GRID:
+            assert algorithm in text
+        assert "Average" in text
+
+    def test_format_table_with_variance(self, small_table):
+        text = format_table(small_table, "accuracy", show_variance=True)
+        assert "±" in text
+
+    def test_format_summary_table(self, small_table):
+        bars = figure_average_bars(small_table, ("accuracy",))
+        text = format_summary_table(bars, title="Fig. 5")
+        assert "Fig. 5" in text
+        assert "K-means+slsGRBM" in text

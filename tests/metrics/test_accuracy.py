@@ -1,0 +1,70 @@
+"""Tests for clustering accuracy (Eq. 36)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import best_label_mapping, clustering_accuracy
+
+
+class TestBestLabelMapping:
+    def test_permuted_labels_recovered(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])
+        mapping = best_label_mapping(true, pred)
+        assert mapping == {2: 0, 0: 1, 1: 2}
+
+    def test_extra_clusters_fall_back_to_majority(self):
+        true = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 0, 2, 1, 1, 3])
+        mapping = best_label_mapping(true, pred)
+        assert mapping[0] == 0 and mapping[1] == 1
+        assert mapping[2] in (0, 1) and mapping[3] in (0, 1)
+
+    def test_arbitrary_label_values(self):
+        true = np.array([10, 10, 20, 20])
+        pred = np.array([7, 7, 3, 3])
+        mapping = best_label_mapping(true, pred)
+        assert mapping == {7: 10, 3: 20}
+
+
+class TestClusteringAccuracy:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert clustering_accuracy(labels, labels) == 1.0
+
+    def test_permutation_invariance(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([1, 1, 2, 2, 0, 0])
+        assert clustering_accuracy(true, pred) == 1.0
+
+    def test_partial_agreement(self):
+        true = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 0, 1, 1, 1, 1])
+        assert clustering_accuracy(true, pred) == pytest.approx(5 / 6)
+
+    def test_single_cluster_prediction(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.zeros(4, dtype=int)
+        assert clustering_accuracy(true, pred) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 3, 50)
+        pred = rng.integers(0, 3, 50)
+        value = clustering_accuracy(true, pred)
+        assert 0.0 <= value <= 1.0
+
+    def test_accuracy_at_least_largest_class_fraction(self):
+        # Mapping every cluster to the majority class can always achieve the
+        # largest class frequency, and the optimal mapping can only do better
+        # when there are at least as many clusters as classes.
+        true = np.array([0] * 7 + [1] * 3)
+        pred = np.array([0, 1] * 5)
+        assert clustering_accuracy(true, pred) >= 0.5
+
+    def test_symmetric_in_number_of_samples(self):
+        true = [0, 1]
+        pred = [1, 0]
+        assert clustering_accuracy(true, pred) == 1.0

@@ -1,0 +1,74 @@
+"""Tests for repro.metrics.contingency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.contingency import (
+    contingency_matrix,
+    pair_confusion_matrix,
+    relabel_consecutive,
+)
+
+
+class TestRelabelConsecutive:
+    def test_arbitrary_labels(self):
+        codes, uniques = relabel_consecutive(np.array([10, 5, 10, 7]))
+        np.testing.assert_array_equal(uniques, [5, 7, 10])
+        np.testing.assert_array_equal(codes, [2, 0, 2, 1])
+
+    def test_already_consecutive(self):
+        codes, uniques = relabel_consecutive(np.array([0, 1, 2, 0]))
+        np.testing.assert_array_equal(codes, [0, 1, 2, 0])
+        np.testing.assert_array_equal(uniques, [0, 1, 2])
+
+
+class TestContingencyMatrix:
+    def test_identity_partition(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        table = contingency_matrix(labels, labels)
+        np.testing.assert_array_equal(table, np.diag([2, 2, 1]))
+
+    def test_counts_sum_to_n(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([1, 1, 0, 2, 2, 2])
+        assert contingency_matrix(true, pred).sum() == 6
+
+    def test_shape_follows_unique_labels(self):
+        table = contingency_matrix([0, 0, 1], [5, 9, 5])
+        assert table.shape == (2, 2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            contingency_matrix([0, 1], [0, 1, 2])
+
+
+class TestPairConfusionMatrix:
+    def test_identical_partitions_have_no_disagreements(self):
+        labels = np.array([0, 0, 1, 1])
+        pairs = pair_confusion_matrix(labels, labels)
+        # 2 same-same pairs (within each cluster), 4 diff-diff pairs.
+        assert pairs[1, 1] == 2
+        assert pairs[0, 0] == 4
+        assert pairs[0, 1] == 0 and pairs[1, 0] == 0
+
+    def test_total_is_number_of_pairs(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 3, size=25)
+        pred = rng.integers(0, 4, size=25)
+        pairs = pair_confusion_matrix(true, pred)
+        assert pairs.sum() == pytest.approx(25 * 24 / 2)
+
+    def test_opposite_partitions(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        pairs = pair_confusion_matrix(true, pred)
+        assert pairs[1, 1] == 0  # no pair co-clustered in both
+
+    def test_counts_non_negative(self):
+        rng = np.random.default_rng(5)
+        true = rng.integers(0, 5, size=40)
+        pred = rng.integers(0, 2, size=40)
+        assert np.all(pair_confusion_matrix(true, pred) >= 0)

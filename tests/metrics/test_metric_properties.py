@@ -1,0 +1,94 @@
+"""Hypothesis property tests on the external clustering metrics.
+
+These invariants must hold for *any* pair of label vectors:
+
+* all metrics stay inside their documented ranges;
+* every metric is invariant to a relabelling (permutation of cluster ids) of
+  the prediction;
+* comparing a partition with itself gives the maximal value;
+* accuracy is never smaller than for the trivial single-cluster prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    clustering_accuracy,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+    purity_score,
+    rand_index,
+)
+
+label_vectors = st.integers(2, 40).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+@given(label_vectors)
+@settings(max_examples=60, deadline=None)
+def test_metrics_stay_in_unit_interval(pair):
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    for metric in (
+        clustering_accuracy,
+        purity_score,
+        rand_index,
+        fowlkes_mallows_index,
+        normalized_mutual_information,
+    ):
+        value = metric(true, pred)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@given(label_vectors, st.permutations(list(range(5))))
+@settings(max_examples=60, deadline=None)
+def test_metrics_invariant_to_prediction_relabelling(pair, permutation):
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    relabelled = np.array([permutation[p] for p in pred])
+    for metric in (
+        clustering_accuracy,
+        purity_score,
+        rand_index,
+        fowlkes_mallows_index,
+        normalized_mutual_information,
+    ):
+        # Exact for the pair-counting metrics; tiny float differences are
+        # possible for NMI because the summation order changes.
+        assert abs(metric(true, pred) - metric(true, relabelled)) < 1e-9
+
+
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_is_maximal(labels):
+    labels = np.array(labels)
+    assert clustering_accuracy(labels, labels) == 1.0
+    assert purity_score(labels, labels) == 1.0
+    assert rand_index(labels, labels) == 1.0
+    assert normalized_mutual_information(labels, labels) >= 1.0 - 1e-9
+
+
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_single_cluster_prediction_scores_majority_fraction(true):
+    # Predicting one big cluster maps it to the majority class, so both
+    # accuracy and purity equal the largest class fraction.
+    true = np.array(true)
+    single = np.zeros_like(true)
+    majority_fraction = np.max(np.bincount(true)) / true.shape[0]
+    assert clustering_accuracy(true, single) == majority_fraction
+    assert purity_score(true, single) == majority_fraction
+
+
+@given(label_vectors)
+@settings(max_examples=60, deadline=None)
+def test_purity_upper_bounds_accuracy(pair):
+    # Purity credits every cluster with its majority class without requiring a
+    # one-to-one mapping, so it can never be below the mapped accuracy.
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    assert purity_score(true, pred) >= clustering_accuracy(true, pred) - 1e-12

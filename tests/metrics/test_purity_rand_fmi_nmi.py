@@ -1,0 +1,134 @@
+"""Tests for purity, Rand index, ARI, FMI and NMI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.fmi import fowlkes_mallows_index
+from repro.metrics.nmi import normalized_mutual_information
+from repro.metrics.purity import purity_score
+from repro.metrics.rand import adjusted_rand_index, rand_index
+
+
+@pytest.fixture
+def perfect():
+    labels = np.array([0, 0, 1, 1, 2, 2])
+    return labels, labels
+
+
+@pytest.fixture
+def permuted():
+    true = np.array([0, 0, 1, 1, 2, 2])
+    pred = np.array([2, 2, 0, 0, 1, 1])
+    return true, pred
+
+
+class TestPurity:
+    def test_perfect(self, perfect):
+        assert purity_score(*perfect) == 1.0
+
+    def test_permutation_invariant(self, permuted):
+        assert purity_score(*permuted) == 1.0
+
+    def test_single_cluster_equals_majority_fraction(self):
+        true = np.array([0, 0, 0, 1])
+        pred = np.zeros(4, dtype=int)
+        assert purity_score(true, pred) == pytest.approx(0.75)
+
+    def test_singleton_clusters_have_purity_one(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.arange(4)
+        assert purity_score(true, pred) == 1.0
+
+    def test_known_textbook_example(self):
+        # 3 clusters x 6 points, classic IR example with purity 0.71...
+        true = np.array([0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 2, 0, 0, 2, 2, 2])
+        pred = np.array([0] * 6 + [1] * 6 + [2] * 5)
+        assert purity_score(true, pred) == pytest.approx((5 + 4 + 3) / 17)
+
+
+class TestRandIndex:
+    def test_perfect(self, perfect):
+        assert rand_index(*perfect) == 1.0
+
+    def test_permutation_invariant(self, permuted):
+        assert rand_index(*permuted) == 1.0
+
+    def test_known_value(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        # pairs: ss=0, sd=2, ds=2, dd=2 -> rand = 2/6
+        assert rand_index(true, pred) == pytest.approx(2 / 6)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        true = rng.integers(0, 4, 60)
+        pred = rng.integers(0, 3, 60)
+        assert 0.0 <= rand_index(true, pred) <= 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_perfect(self, perfect):
+        assert adjusted_rand_index(*perfect) == 1.0
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(2)
+        true = rng.integers(0, 3, 3000)
+        pred = rng.integers(0, 3, 3000)
+        assert abs(adjusted_rand_index(true, pred)) < 0.05
+
+    def test_upper_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        true = rng.integers(0, 3, 100)
+        pred = rng.integers(0, 5, 100)
+        assert adjusted_rand_index(true, pred) <= 1.0
+
+
+class TestFMI:
+    def test_perfect(self, perfect):
+        assert fowlkes_mallows_index(*perfect) == 1.0
+
+    def test_permutation_invariant(self, permuted):
+        assert fowlkes_mallows_index(*permuted) == 1.0
+
+    def test_all_singletons_is_zero(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.arange(4)
+        assert fowlkes_mallows_index(true, pred) == 0.0
+
+    def test_known_value(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 0, 1])
+        # TP=1, FP=2, FN=1 -> sqrt(1/3 * 1/2)
+        assert fowlkes_mallows_index(true, pred) == pytest.approx(np.sqrt(1 / 6))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(4)
+        true = rng.integers(0, 3, 80)
+        pred = rng.integers(0, 4, 80)
+        assert 0.0 <= fowlkes_mallows_index(true, pred) <= 1.0
+
+
+class TestNMI:
+    def test_perfect(self, perfect):
+        assert normalized_mutual_information(*perfect) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self, permuted):
+        assert normalized_mutual_information(*permuted) == pytest.approx(1.0)
+
+    def test_independent_labels_near_zero(self):
+        rng = np.random.default_rng(5)
+        true = rng.integers(0, 3, 5000)
+        pred = rng.integers(0, 3, 5000)
+        assert normalized_mutual_information(true, pred) < 0.01
+
+    def test_single_cluster_both_sides(self):
+        labels = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(labels, labels) == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(6)
+        true = rng.integers(0, 4, 70)
+        pred = rng.integers(0, 2, 70)
+        assert 0.0 <= normalized_mutual_information(true, pred) <= 1.0

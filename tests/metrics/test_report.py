@@ -1,0 +1,79 @@
+"""Tests for the aggregate clustering report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.report import ClusteringReport, evaluate_clustering
+
+
+class TestEvaluateClustering:
+    def test_perfect_clustering_all_ones(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        report = evaluate_clustering(labels, labels)
+        assert report.accuracy == 1.0
+        assert report.purity == 1.0
+        assert report.rand == 1.0
+        assert report.fmi == 1.0
+        assert report.nmi == pytest.approx(1.0)
+
+    def test_metadata_fields(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 2, 2])
+        report = evaluate_clustering(true, pred)
+        assert report.n_samples == 4
+        assert report.n_clusters == 3
+
+    def test_as_dict_keys(self):
+        labels = np.array([0, 1, 0, 1])
+        report = evaluate_clustering(labels, labels)
+        assert set(report.as_dict()) == {
+            "accuracy",
+            "purity",
+            "rand",
+            "adjusted_rand",
+            "fmi",
+            "nmi",
+        }
+
+    def test_getitem(self):
+        labels = np.array([0, 1, 0, 1])
+        report = evaluate_clustering(labels, labels)
+        assert report["accuracy"] == report.accuracy
+
+    def test_getitem_unknown_key_raises(self):
+        labels = np.array([0, 1])
+        report = evaluate_clustering(labels, labels)
+        with pytest.raises(KeyError):
+            report["not_a_metric"]
+
+    def test_is_frozen(self):
+        labels = np.array([0, 1])
+        report = evaluate_clustering(labels, labels)
+        with pytest.raises(AttributeError):
+            report.accuracy = 0.0  # type: ignore[misc]
+
+    def test_all_metrics_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 3, 60)
+        pred = rng.integers(0, 4, 60)
+        report = evaluate_clustering(true, pred)
+        for name, value in report.as_dict().items():
+            if name == "adjusted_rand":
+                assert -1.0 <= value <= 1.0
+            else:
+                assert 0.0 <= value <= 1.0, name
+
+    def test_report_dataclass_direct_construction(self):
+        report = ClusteringReport(
+            accuracy=0.5,
+            purity=0.6,
+            rand=0.7,
+            adjusted_rand=0.2,
+            fmi=0.4,
+            nmi=0.3,
+            n_samples=10,
+            n_clusters=2,
+        )
+        assert report["purity"] == 0.6

@@ -1,0 +1,176 @@
+"""Tests for the constrict/disperse gradients (Eq. 27-32).
+
+The critical test is the finite-difference check: the analytic gradient of
+``constrict_disperse_gradient`` must match the numerical gradient of the
+reference loss ``constrict_disperse_loss_exact`` entry by entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.rbm.gradients import (
+    SupervisionGradients,
+    constrict_disperse_gradient,
+    constrict_disperse_loss_exact,
+)
+
+
+def _random_problem(n_samples=12, n_visible=5, n_hidden=4, n_clusters=3, seed=0):
+    rng = np.random.default_rng(seed)
+    visible = rng.normal(size=(n_samples, n_visible))
+    weights = 0.5 * rng.normal(size=(n_visible, n_hidden))
+    hidden_bias = 0.1 * rng.normal(size=n_hidden)
+    labels = rng.integers(0, n_clusters, size=n_samples)
+    index_sets = {
+        int(k): np.flatnonzero(labels == k)
+        for k in range(n_clusters)
+        if np.any(labels == k)
+    }
+    return visible, weights, hidden_bias, index_sets
+
+
+def _numerical_gradient(visible, weights, hidden_bias, index_sets, epsilon=1e-6):
+    grad_w = np.zeros_like(weights)
+    for i in range(weights.shape[0]):
+        for j in range(weights.shape[1]):
+            perturbed = weights.copy()
+            perturbed[i, j] += epsilon
+            plus = constrict_disperse_loss_exact(visible, perturbed, hidden_bias, index_sets)
+            perturbed[i, j] -= 2 * epsilon
+            minus = constrict_disperse_loss_exact(visible, perturbed, hidden_bias, index_sets)
+            grad_w[i, j] = (plus - minus) / (2 * epsilon)
+    grad_b = np.zeros_like(hidden_bias)
+    for j in range(hidden_bias.shape[0]):
+        perturbed = hidden_bias.copy()
+        perturbed[j] += epsilon
+        plus = constrict_disperse_loss_exact(visible, weights, perturbed, index_sets)
+        perturbed[j] -= 2 * epsilon
+        minus = constrict_disperse_loss_exact(visible, weights, perturbed, index_sets)
+        grad_b[j] = (plus - minus) / (2 * epsilon)
+    return grad_w, grad_b
+
+
+class TestFiniteDifferences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_weight_gradient_matches_numerical(self, seed):
+        visible, weights, hidden_bias, index_sets = _random_problem(seed=seed)
+        analytic = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        numeric_w, numeric_b = _numerical_gradient(visible, weights, hidden_bias, index_sets)
+        np.testing.assert_allclose(analytic.grad_weights, numeric_w, atol=1e-5, rtol=1e-4)
+        np.testing.assert_allclose(analytic.grad_hidden_bias, numeric_b, atol=1e-5, rtol=1e-4)
+
+    def test_two_cluster_problem(self):
+        visible, weights, hidden_bias, index_sets = _random_problem(
+            n_samples=8, n_clusters=2, seed=5
+        )
+        analytic = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        numeric_w, numeric_b = _numerical_gradient(visible, weights, hidden_bias, index_sets)
+        np.testing.assert_allclose(analytic.grad_weights, numeric_w, atol=1e-5, rtol=1e-4)
+        np.testing.assert_allclose(analytic.grad_hidden_bias, numeric_b, atol=1e-5, rtol=1e-4)
+
+    def test_single_cluster_only_constrict_term(self):
+        visible, weights, hidden_bias, _ = _random_problem(seed=7)
+        index_sets = {0: np.arange(visible.shape[0])}
+        analytic = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        numeric_w, numeric_b = _numerical_gradient(visible, weights, hidden_bias, index_sets)
+        np.testing.assert_allclose(analytic.grad_weights, numeric_w, atol=1e-5, rtol=1e-4)
+        np.testing.assert_allclose(analytic.grad_hidden_bias, numeric_b, atol=1e-5, rtol=1e-4)
+
+
+class TestGradientStructure:
+    def test_shapes(self):
+        visible, weights, hidden_bias, index_sets = _random_problem()
+        grads = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        assert grads.grad_weights.shape == weights.shape
+        assert grads.grad_hidden_bias.shape == hidden_bias.shape
+
+    def test_descent_direction_reduces_loss(self):
+        visible, weights, hidden_bias, index_sets = _random_problem(seed=11)
+        loss_before = constrict_disperse_loss_exact(
+            visible, weights, hidden_bias, index_sets
+        )
+        grads = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        step = 1e-3
+        loss_after = constrict_disperse_loss_exact(
+            visible,
+            weights - step * grads.grad_weights,
+            hidden_bias - step * grads.grad_hidden_bias,
+            index_sets,
+        )
+        assert loss_after < loss_before
+
+    def test_identical_hidden_features_give_zero_pair_gradient(self):
+        # With zero weights and zero bias every hidden feature is 0.5, so all
+        # pairwise differences vanish and only the centre term could act; with
+        # identical centres that term vanishes too.
+        visible = np.random.default_rng(0).normal(size=(6, 4))
+        weights = np.zeros((4, 3))
+        hidden_bias = np.zeros(3)
+        index_sets = {0: np.array([0, 1, 2]), 1: np.array([3, 4, 5])}
+        grads = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        # Hidden features are all 0.5 -> (h_s - h_t) = 0 and (C_p - C_q) = 0.
+        np.testing.assert_allclose(grads.grad_weights, 0.0, atol=1e-12)
+        np.testing.assert_allclose(grads.grad_hidden_bias, 0.0, atol=1e-12)
+
+    def test_singleton_clusters_contribute_only_to_centres(self):
+        visible, weights, hidden_bias, _ = _random_problem(seed=3)
+        index_sets = {0: np.array([0]), 1: np.array([1])}
+        grads = constrict_disperse_gradient(visible, weights, hidden_bias, index_sets)
+        numeric_w, numeric_b = _numerical_gradient(visible, weights, hidden_bias, index_sets)
+        np.testing.assert_allclose(grads.grad_weights, numeric_w, atol=1e-5, rtol=1e-4)
+
+    def test_validation_errors(self):
+        visible, weights, hidden_bias, index_sets = _random_problem()
+        with pytest.raises(ValidationError):
+            constrict_disperse_gradient(visible[:, :3], weights, hidden_bias, index_sets)
+        with pytest.raises(ValidationError):
+            constrict_disperse_gradient(visible, weights, hidden_bias[:-1], index_sets)
+        with pytest.raises(ValidationError):
+            constrict_disperse_gradient(visible, weights, hidden_bias, {})
+        with pytest.raises(ValidationError):
+            constrict_disperse_gradient(
+                visible, weights, hidden_bias, {0: np.array([], dtype=int)}
+            )
+
+
+class TestSupervisionGradientsContainer:
+    def test_addition(self):
+        a = SupervisionGradients(np.ones((2, 2)), np.ones(2))
+        b = SupervisionGradients(2 * np.ones((2, 2)), 3 * np.ones(2))
+        combined = a + b
+        np.testing.assert_allclose(combined.grad_weights, 3.0)
+        np.testing.assert_allclose(combined.grad_hidden_bias, 4.0)
+
+    def test_scaling(self):
+        a = SupervisionGradients(np.ones((2, 2)), np.ones(2))
+        scaled = a.scaled(0.5)
+        np.testing.assert_allclose(scaled.grad_weights, 0.5)
+
+    def test_max_abs(self):
+        a = SupervisionGradients(np.array([[1.0, -4.0]]), np.array([2.0]))
+        assert a.max_abs == 4.0
+
+
+class TestReferenceLoss:
+    def test_loss_decreases_when_same_cluster_points_coincide(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(3, 2))
+        hidden_bias = rng.normal(size=2)
+        spread = rng.normal(size=(6, 3))
+        tight = np.tile(rng.normal(size=(1, 3)), (6, 1))
+        index_sets = {0: np.arange(3), 1: np.arange(3, 6)}
+        loss_spread = constrict_disperse_loss_exact(spread, weights, hidden_bias, index_sets)
+        loss_tight = constrict_disperse_loss_exact(tight, weights, hidden_bias, index_sets)
+        # Identical points within each cluster -> zero constriction term and
+        # zero centre separation -> loss exactly 0, below the spread case's
+        # constriction-dominated value whenever that value is positive.
+        assert loss_tight == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_index_sets_rejected(self):
+        with pytest.raises(ValidationError):
+            constrict_disperse_loss_exact(
+                np.zeros((2, 2)), np.zeros((2, 2)), np.zeros(2), {}
+            )

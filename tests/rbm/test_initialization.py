@@ -1,0 +1,56 @@
+"""Tests for RBM parameter initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.rbm.initialization import initialize_weights, visible_bias_from_data
+
+
+class TestInitializeWeights:
+    def test_shape(self):
+        weights = initialize_weights(10, 4, random_state=0)
+        assert weights.shape == (10, 4)
+
+    def test_gaussian_scale(self):
+        weights = initialize_weights(500, 200, sigma=0.01, random_state=0)
+        assert abs(weights.std() - 0.01) < 0.002
+
+    def test_xavier_scale(self):
+        weights = initialize_weights(100, 100, scheme="xavier", random_state=0)
+        expected = np.sqrt(2.0 / 200)
+        assert abs(weights.std() - expected) < 0.02
+
+    def test_zeros(self):
+        weights = initialize_weights(5, 3, scheme="zeros")
+        assert np.all(weights == 0.0)
+
+    def test_reproducible(self):
+        a = initialize_weights(6, 6, random_state=1)
+        b = initialize_weights(6, 6, random_state=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValidationError):
+            initialize_weights(3, 3, scheme="orthogonal")
+
+
+class TestVisibleBias:
+    def test_binary_log_odds(self):
+        data = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 1.0], [1.0, 0.0]])
+        bias = visible_bias_from_data(data, binary=True)
+        # First unit always on -> strongly positive bias; second mostly off.
+        assert bias[0] > 2.0
+        assert bias[1] < 0.0
+
+    def test_gaussian_mean(self):
+        data = np.array([[1.0, -2.0], [3.0, -4.0]])
+        bias = visible_bias_from_data(data, binary=False)
+        np.testing.assert_allclose(bias, [2.0, -3.0])
+
+    def test_binary_bias_is_finite_for_constant_units(self):
+        data = np.zeros((10, 3))
+        bias = visible_bias_from_data(data, binary=True)
+        assert np.all(np.isfinite(bias))

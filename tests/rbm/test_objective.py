@@ -1,0 +1,120 @@
+"""Tests for the constrict/disperse loss (Eq. 13-16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.preprocessing import standardize
+from repro.exceptions import ValidationError
+from repro.rbm import GaussianRBM
+from repro.rbm.objective import (
+    cluster_centers,
+    constrict_disperse_loss,
+    constrict_loss,
+    disperse_loss,
+    sls_objective,
+)
+
+
+@pytest.fixture
+def clustered_features():
+    rng = np.random.default_rng(0)
+    cluster_a = rng.normal(0.0, 0.1, size=(10, 4))
+    cluster_b = rng.normal(3.0, 0.1, size=(10, 4))
+    features = np.vstack([cluster_a, cluster_b])
+    index_sets = {0: np.arange(10), 1: np.arange(10, 20)}
+    return features, index_sets
+
+
+class TestClusterCenters:
+    def test_centers_are_means(self, clustered_features):
+        features, index_sets = clustered_features
+        centers = cluster_centers(features, index_sets)
+        np.testing.assert_allclose(centers[0], features[:10].mean(axis=0))
+        np.testing.assert_allclose(centers[1], features[10:].mean(axis=0))
+
+    def test_invalid_indices_rejected(self, clustered_features):
+        features, _ = clustered_features
+        with pytest.raises(ValidationError):
+            cluster_centers(features, {0: np.array([100])})
+
+    def test_empty_sets_rejected(self, clustered_features):
+        features, _ = clustered_features
+        with pytest.raises(ValidationError):
+            cluster_centers(features, {})
+
+
+class TestConstrictLoss:
+    def test_tight_clusters_have_small_loss(self, clustered_features):
+        features, index_sets = clustered_features
+        assert constrict_loss(features, index_sets) < 0.5
+
+    def test_identical_points_give_zero(self):
+        features = np.tile([[1.0, 2.0]], (6, 1))
+        index_sets = {0: np.arange(3), 1: np.arange(3, 6)}
+        assert constrict_loss(features, index_sets) == pytest.approx(0.0)
+
+    def test_spread_increases_loss(self):
+        rng = np.random.default_rng(1)
+        tight = rng.normal(0, 0.1, size=(10, 3))
+        spread = rng.normal(0, 2.0, size=(10, 3))
+        index_sets = {0: np.arange(10)}
+        assert constrict_loss(spread, index_sets) > constrict_loss(tight, index_sets)
+
+    def test_singleton_clusters_contribute_nothing(self):
+        features = np.random.default_rng(2).normal(size=(3, 2))
+        index_sets = {0: np.array([0]), 1: np.array([1]), 2: np.array([2])}
+        assert constrict_loss(features, index_sets) == 0.0
+
+    def test_non_negative(self, clustered_features):
+        features, index_sets = clustered_features
+        assert constrict_loss(features, index_sets) >= 0.0
+
+
+class TestDisperseLoss:
+    def test_separated_centers_give_large_value(self, clustered_features):
+        features, index_sets = clustered_features
+        assert disperse_loss(features, index_sets) > 10.0
+
+    def test_single_cluster_gives_zero(self):
+        features = np.random.default_rng(0).normal(size=(5, 3))
+        assert disperse_loss(features, {0: np.arange(5)}) == 0.0
+
+    def test_coincident_centers_give_zero(self):
+        features = np.vstack([np.ones((4, 2)), np.ones((4, 2))])
+        index_sets = {0: np.arange(4), 1: np.arange(4, 8)}
+        assert disperse_loss(features, index_sets) == pytest.approx(0.0)
+
+
+class TestCombinedLoss:
+    def test_well_separated_clusters_give_negative_loss(self, clustered_features):
+        features, index_sets = clustered_features
+        assert constrict_disperse_loss(features, index_sets) < 0.0
+
+    def test_equals_difference_of_terms(self, clustered_features):
+        features, index_sets = clustered_features
+        combined = constrict_disperse_loss(features, index_sets)
+        expected = constrict_loss(features, index_sets) - disperse_loss(
+            features, index_sets
+        )
+        assert combined == pytest.approx(expected)
+
+
+class TestSlsObjective:
+    def test_returns_all_components(self, hard_blobs_dataset):
+        data, labels = hard_blobs_dataset
+        data = standardize(data)
+        model = GaussianRBM(8, n_epochs=3, random_state=0).fit(data)
+        index_sets = {int(k): np.flatnonzero(labels == k) for k in np.unique(labels)}
+        result = sls_objective(model, data, index_sets, eta=0.4)
+        assert set(result) == {"log_likelihood_proxy", "l_data", "l_recon", "objective"}
+        assert np.isfinite(result["objective"])
+
+    def test_invalid_eta(self, hard_blobs_dataset):
+        data, labels = hard_blobs_dataset
+        data = standardize(data)
+        model = GaussianRBM(4, n_epochs=1, random_state=0).fit(data)
+        index_sets = {0: np.arange(10)}
+        with pytest.raises(ValidationError):
+            sls_objective(model, data, index_sets, eta=1.5)

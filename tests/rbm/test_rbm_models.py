@@ -1,0 +1,190 @@
+"""Tests for the BernoulliRBM and GaussianRBM baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.preprocessing import standardize
+from repro.exceptions import NotFittedError, ValidationError
+from repro.rbm import BernoulliRBM, GaussianRBM
+
+
+@pytest.fixture
+def small_rbm(binary_dataset):
+    data, _ = binary_dataset
+    model = BernoulliRBM(
+        8, learning_rate=0.05, n_epochs=5, batch_size=16, random_state=0
+    )
+    model.fit(data)
+    return model, data
+
+
+@pytest.fixture
+def small_grbm(hard_blobs_dataset):
+    data, _ = hard_blobs_dataset
+    data = standardize(data)
+    model = GaussianRBM(
+        8, learning_rate=0.01, n_epochs=5, batch_size=16, random_state=0
+    )
+    model.fit(data)
+    return model, data
+
+
+class TestConstruction:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            BernoulliRBM(0)
+        with pytest.raises(ValidationError):
+            BernoulliRBM(4, learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            BernoulliRBM(4, momentum=1.0)
+        with pytest.raises(ValidationError):
+            BernoulliRBM(4, weight_decay=-0.1)
+        with pytest.raises(ValidationError):
+            GaussianRBM(4, cd_steps=0)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(NotFittedError):
+            BernoulliRBM(4).transform(np.zeros((2, 3)))
+
+    def test_repr_mentions_key_parameters(self):
+        text = repr(BernoulliRBM(7, learning_rate=0.1))
+        assert "n_hidden=7" in text
+
+
+class TestBernoulliRBM:
+    def test_fit_sets_parameter_shapes(self, small_rbm):
+        model, data = small_rbm
+        assert model.weights_.shape == (data.shape[1], 8)
+        assert model.visible_bias_.shape == (data.shape[1],)
+        assert model.hidden_bias_.shape == (8,)
+
+    def test_hidden_probabilities_in_unit_interval(self, small_rbm):
+        model, data = small_rbm
+        hidden = model.transform(data)
+        assert hidden.shape == (data.shape[0], 8)
+        assert np.all(hidden >= 0.0) and np.all(hidden <= 1.0)
+
+    def test_reconstruction_in_unit_interval(self, small_rbm):
+        model, data = small_rbm
+        recon = model.reconstruct(data)
+        assert np.all(recon >= 0.0) and np.all(recon <= 1.0)
+
+    def test_training_reduces_reconstruction_error(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(
+            16, learning_rate=0.1, n_epochs=30, batch_size=16, random_state=0
+        )
+        model.fit(data)
+        errors = model.training_history_.reconstruction_errors
+        assert errors[-1] < errors[0]
+
+    def test_sampling_shapes(self, small_rbm):
+        model, data = small_rbm
+        hidden_probs = model.hidden_probabilities(data[:5])
+        hidden_states = model.sample_hidden(hidden_probs)
+        assert set(np.unique(hidden_states)) <= {0.0, 1.0}
+        visible_states = model.sample_visible(hidden_states)
+        assert set(np.unique(visible_states)) <= {0.0, 1.0}
+
+    def test_free_energy_finite(self, small_rbm):
+        model, data = small_rbm
+        energy = model.free_energy(data)
+        assert energy.shape == (data.shape[0],)
+        assert np.all(np.isfinite(energy))
+
+    def test_free_energy_prefers_training_data_over_noise(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(
+            16, learning_rate=0.1, n_epochs=40, batch_size=16, random_state=0
+        )
+        model.fit(data)
+        rng = np.random.default_rng(0)
+        noise = (rng.random(data.shape) < 0.5).astype(float)
+        assert model.free_energy(data).mean() < model.free_energy(noise).mean()
+
+    def test_pseudo_log_likelihood_is_negative(self, small_rbm):
+        model, data = small_rbm
+        assert model.pseudo_log_likelihood(data) < 0.0
+
+    def test_transform_feature_mismatch_raises(self, small_rbm):
+        model, _ = small_rbm
+        with pytest.raises(ValidationError):
+            model.transform(np.zeros((3, 99)))
+
+    def test_score_returns_scalar(self, small_rbm):
+        model, data = small_rbm
+        assert isinstance(model.score(data), float)
+
+    def test_fit_transform_equivalent_to_fit_then_transform(self, binary_dataset):
+        data, _ = binary_dataset
+        a = BernoulliRBM(6, n_epochs=3, random_state=1).fit_transform(data)
+        model = BernoulliRBM(6, n_epochs=3, random_state=1).fit(data)
+        b = model.transform(data)
+        np.testing.assert_allclose(a, b)
+
+    def test_reproducible_training(self, binary_dataset):
+        data, _ = binary_dataset
+        a = BernoulliRBM(6, n_epochs=4, random_state=2).fit(data).weights_
+        b = BernoulliRBM(6, n_epochs=4, random_state=2).fit(data).weights_
+        np.testing.assert_allclose(a, b)
+
+    def test_momentum_and_weight_decay_run(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(
+            6, n_epochs=3, momentum=0.5, weight_decay=1e-4, random_state=0
+        )
+        model.fit(data)
+        assert np.all(np.isfinite(model.weights_))
+
+
+class TestGaussianRBM:
+    def test_linear_reconstruction_is_unbounded(self, small_grbm):
+        model, data = small_grbm
+        recon = model.reconstruct(data)
+        assert recon.shape == data.shape
+        # Linear reconstruction is not squashed into [0, 1].
+        assert recon.min() < 0.0 or recon.max() > 1.0
+
+    def test_training_reduces_reconstruction_error(self, blobs_dataset):
+        data, _ = blobs_dataset
+        data = standardize(data)
+        model = GaussianRBM(
+            16, learning_rate=0.02, n_epochs=150, batch_size=16, random_state=0
+        )
+        model.fit(data)
+        errors = model.training_history_.reconstruction_errors
+        assert errors[-1] < 0.7 * errors[0]
+
+    def test_sample_visible_is_stochastic(self, small_grbm):
+        model, data = small_grbm
+        hidden = model.hidden_probabilities(data[:4])
+        a = model.sample_visible(hidden)
+        b = model.sample_visible(hidden)
+        assert not np.allclose(a, b)
+
+    def test_free_energy_finite(self, small_grbm):
+        model, data = small_grbm
+        assert np.all(np.isfinite(model.free_energy(data)))
+
+    def test_hidden_features_not_degenerate(self, small_grbm):
+        model, data = small_grbm
+        hidden = model.transform(data)
+        # At least some variation across samples.
+        assert hidden.std() > 1e-4
+
+    def test_cd_statistics_shapes(self, small_grbm):
+        model, data = small_grbm
+        stats = model.contrastive_divergence(data[:10])
+        assert stats.grad_weights.shape == model.weights_.shape
+        assert stats.grad_visible_bias.shape == model.visible_bias_.shape
+        assert stats.grad_hidden_bias.shape == model.hidden_bias_.shape
+        assert stats.reconstruction_error >= 0.0
+
+    def test_cd_multiple_steps(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        data = standardize(data)
+        model = GaussianRBM(8, n_epochs=2, cd_steps=3, random_state=0)
+        model.fit(data)
+        assert np.all(np.isfinite(model.weights_))

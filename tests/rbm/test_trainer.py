@@ -1,0 +1,78 @@
+"""Tests for the RBMTrainer driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.rbm import BernoulliRBM, SlsRBM
+from repro.rbm.trainer import RBMTrainer, TrainingHistory
+from repro.supervision.local_supervision import LocalSupervision
+
+
+class TestTrainingHistory:
+    def test_final_error(self):
+        history = TrainingHistory(reconstruction_errors=[0.5, 0.4, 0.3])
+        assert history.final_reconstruction_error == 0.3
+
+    def test_final_error_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().final_reconstruction_error
+
+
+class TestRBMTrainer:
+    def test_records_one_error_per_epoch(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(8, n_epochs=7, random_state=0)
+        trainer = RBMTrainer(model).fit(data)
+        assert trainer.history_.n_epochs_run == 7
+        assert len(trainer.history_.reconstruction_errors) == 7
+
+    def test_batch_size_larger_than_dataset(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(4, n_epochs=2, batch_size=10_000, random_state=0)
+        RBMTrainer(model).fit(data)
+        assert model.is_fitted
+
+    def test_early_stopping(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(8, n_epochs=200, learning_rate=1e-6, random_state=0)
+        trainer = RBMTrainer(model, early_stopping_tol=0.5, patience=2).fit(data)
+        assert trainer.history_.stopped_early
+        assert trainer.history_.n_epochs_run < 200
+
+    def test_no_shuffle_is_deterministic_per_epoch(self, binary_dataset):
+        data, _ = binary_dataset
+        model_a = BernoulliRBM(4, n_epochs=3, random_state=0)
+        model_b = BernoulliRBM(4, n_epochs=3, random_state=0)
+        RBMTrainer(model_a, shuffle=False).fit(data)
+        RBMTrainer(model_b, shuffle=False).fit(data)
+        np.testing.assert_allclose(model_a.weights_, model_b.weights_)
+
+    def test_supervision_rejected_for_plain_model(self, binary_dataset):
+        data, labels = binary_dataset
+        supervision = LocalSupervision.from_full_partition(labels)
+        model = BernoulliRBM(4, n_epochs=1, random_state=0)
+        with pytest.raises(ValidationError):
+            RBMTrainer(model).fit(data, supervision=supervision)
+
+    def test_supervision_losses_recorded_for_sls_model(self, binary_dataset):
+        data, labels = binary_dataset
+        supervision = LocalSupervision.from_full_partition(labels)
+        model = SlsRBM(4, n_epochs=4, random_state=0)
+        trainer = RBMTrainer(model).fit(data, supervision=supervision)
+        assert len(trainer.history_.supervision_losses) == 4
+
+    def test_no_supervision_losses_without_supervision(self, binary_dataset):
+        data, _ = binary_dataset
+        model = SlsRBM(4, n_epochs=3, random_state=0)
+        trainer = RBMTrainer(model).fit(data)
+        assert trainer.history_.supervision_losses == []
+
+    def test_invalid_parameters(self, binary_dataset):
+        model = BernoulliRBM(4, n_epochs=1)
+        with pytest.raises(ValidationError):
+            RBMTrainer(model, early_stopping_tol=-0.1)
+        with pytest.raises(ValidationError):
+            RBMTrainer(model, patience=0)

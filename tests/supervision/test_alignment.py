@@ -1,0 +1,71 @@
+"""Tests for partition alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.supervision.alignment import align_partitions, align_to_reference
+
+
+class TestAlignToReference:
+    def test_permuted_labels_are_mapped_back(self):
+        reference = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        aligned = align_to_reference(reference, permuted)
+        np.testing.assert_array_equal(aligned, reference)
+
+    def test_partial_overlap(self):
+        reference = np.array([0, 0, 0, 1, 1, 1])
+        partition = np.array([5, 5, 7, 7, 7, 7])
+        aligned = align_to_reference(reference, partition)
+        # Cluster 5 overlaps class 0 most, cluster 7 overlaps class 1 most.
+        np.testing.assert_array_equal(aligned, [0, 0, 1, 1, 1, 1])
+
+    def test_extra_clusters_get_fresh_labels(self):
+        reference = np.array([0, 0, 1, 1])
+        partition = np.array([0, 1, 2, 3])
+        aligned = align_to_reference(reference, partition)
+        # No two source clusters may be merged.
+        assert len(np.unique(aligned)) == 4
+
+    def test_alignment_preserves_partition_structure(self):
+        rng = np.random.default_rng(0)
+        reference = rng.integers(0, 3, 50)
+        partition = rng.integers(0, 4, 50)
+        aligned = align_to_reference(reference, partition)
+        # Same-cluster relations must be preserved exactly.
+        for i in range(50):
+            for j in range(50):
+                assert (partition[i] == partition[j]) == (aligned[i] == aligned[j])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            align_to_reference([0, 1], [0, 1, 2])
+
+
+class TestAlignPartitions:
+    def test_first_partition_unchanged(self):
+        partitions = [np.array([0, 0, 1, 1]), np.array([1, 1, 0, 0])]
+        aligned = align_partitions(partitions)
+        np.testing.assert_array_equal(aligned[0], partitions[0])
+
+    def test_all_aligned_to_first(self):
+        base = np.array([0, 0, 1, 1, 2, 2])
+        partitions = [base, np.array([1, 1, 2, 2, 0, 0]), np.array([2, 2, 1, 1, 0, 0])]
+        aligned = align_partitions(partitions)
+        for partition in aligned[1:]:
+            np.testing.assert_array_equal(partition, base)
+
+    def test_single_partition(self):
+        aligned = align_partitions([np.array([0, 1, 0])])
+        assert len(aligned) == 1
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValidationError):
+            align_partitions([])
+
+    def test_inconsistent_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            align_partitions([np.array([0, 1]), np.array([0, 1, 2])])

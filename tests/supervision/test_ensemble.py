@@ -1,0 +1,100 @@
+"""Tests for the multi-clustering integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.exceptions import ValidationError
+from repro.supervision.ensemble import MultiClusteringIntegration
+from repro.supervision.local_supervision import LocalSupervision
+
+
+class TestMultiClusteringIntegration:
+    def test_easy_data_gives_high_coverage(self, blobs_dataset):
+        data, labels = blobs_dataset
+        integration = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "agglomerative"), random_state=0
+        )
+        supervision = integration.fit_supervision(data)
+        assert isinstance(supervision, LocalSupervision)
+        assert supervision.coverage > 0.9
+        assert supervision.n_clusters == 3
+
+    def test_supervision_is_consistent_with_ground_truth_on_easy_data(
+        self, blobs_dataset
+    ):
+        data, labels = blobs_dataset
+        integration = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "agglomerative"), random_state=0
+        )
+        supervision = integration.fit_supervision(data)
+        covered = supervision.covered_indices
+        # On well-separated blobs, the credible clusters should be pure.
+        from repro.metrics import purity_score
+
+        assert purity_score(labels[covered], supervision.labels[covered]) > 0.95
+
+    def test_default_clusterers_are_paper_trio(self, blobs_dataset):
+        data, _ = blobs_dataset
+        integration = MultiClusteringIntegration(3, random_state=0).fit(data)
+        names = integration.supervision_.metadata["clusterers"]
+        assert names == ["DP", "K-means", "AP"]
+
+    def test_partitions_recorded(self, blobs_dataset):
+        data, _ = blobs_dataset
+        integration = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "dp"), random_state=0
+        ).fit(data)
+        assert len(integration.partitions_) == 2
+        assert len(integration.aligned_partitions_) == 2
+        assert 0.0 <= integration.agreement_rate_ <= 1.0
+
+    def test_majority_voting_covers_at_least_unanimous(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        unanimous = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "dp", "agglomerative"), voting="unanimous",
+            random_state=0,
+        ).fit_supervision(data)
+        majority = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "dp", "agglomerative"), voting="majority",
+            random_state=0,
+        ).fit_supervision(data)
+        assert majority.coverage >= unanimous.coverage
+
+    def test_accepts_estimator_instances(self, blobs_dataset):
+        data, _ = blobs_dataset
+        integration = MultiClusteringIntegration(
+            3,
+            clusterers=(KMeans(3, random_state=0), KMeans(3, random_state=1)),
+            random_state=0,
+        )
+        supervision = integration.fit_supervision(data)
+        assert supervision.n_samples == data.shape[0]
+
+    def test_small_cluster_dropped(self):
+        # Construct partitions where one consensus cluster has a single member.
+        integration = MultiClusteringIntegration(2, min_cluster_size=2)
+        labels = np.array([0, 0, 0, 1, -1, -1])
+        labels[3] = 5  # singleton cluster 5
+        cleaned = integration._drop_small_clusters(labels)
+        assert 5 not in cleaned
+
+    def test_invalid_voting(self):
+        with pytest.raises(ValidationError):
+            MultiClusteringIntegration(2, voting="plurality")
+
+    def test_empty_clusterers(self):
+        with pytest.raises(ValidationError):
+            MultiClusteringIntegration(2, clusterers=())
+
+    def test_reproducible(self, blobs_dataset):
+        data, _ = blobs_dataset
+        a = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "dp"), random_state=3
+        ).fit_supervision(data)
+        b = MultiClusteringIntegration(
+            3, clusterers=("kmeans", "dp"), random_state=3
+        ).fit_supervision(data)
+        np.testing.assert_array_equal(a.labels, b.labels)

@@ -1,0 +1,94 @@
+"""Tests for the LocalSupervision value object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SupervisionError
+from repro.supervision.local_supervision import LocalSupervision
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        supervision = LocalSupervision.from_labels([0, 0, -1, 1, 1])
+        assert supervision.n_samples == 5
+        assert supervision.n_clusters == 2
+
+    def test_from_full_partition(self):
+        supervision = LocalSupervision.from_full_partition([0, 1, 2, 0])
+        assert supervision.coverage == 1.0
+
+    def test_from_full_partition_rejects_negative(self):
+        with pytest.raises(SupervisionError):
+            LocalSupervision.from_full_partition([0, -1, 1])
+
+    def test_all_uncovered_rejected(self):
+        with pytest.raises(SupervisionError, match="covers no instance"):
+            LocalSupervision.from_labels([-1, -1, -1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SupervisionError):
+            LocalSupervision(labels=np.array([0, 1]), n_samples=3)
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(SupervisionError):
+            LocalSupervision(labels=np.zeros((2, 2), dtype=int), n_samples=2)
+
+
+class TestViews:
+    def test_mask_and_indices(self, simple_supervision):
+        np.testing.assert_array_equal(
+            simple_supervision.covered_indices, [0, 1, 2, 5, 6, 7]
+        )
+        assert simple_supervision.mask.sum() == 6
+
+    def test_coverage(self, simple_supervision):
+        assert simple_supervision.coverage == pytest.approx(0.6)
+
+    def test_cluster_ids(self, simple_supervision):
+        np.testing.assert_array_equal(simple_supervision.cluster_ids, [0, 1])
+
+    def test_members(self, simple_supervision):
+        np.testing.assert_array_equal(simple_supervision.members(1), [5, 6, 7])
+
+    def test_members_negative_id_rejected(self, simple_supervision):
+        with pytest.raises(SupervisionError):
+            simple_supervision.members(-1)
+
+    def test_members_empty_cluster_rejected(self, simple_supervision):
+        with pytest.raises(SupervisionError):
+            simple_supervision.members(9)
+
+    def test_cluster_index_sets(self, simple_supervision):
+        sets = simple_supervision.cluster_index_sets()
+        assert set(sets) == {0, 1}
+        np.testing.assert_array_equal(sets[0], [0, 1, 2])
+
+    def test_cluster_sizes(self, simple_supervision):
+        assert simple_supervision.cluster_sizes() == {0: 3, 1: 3}
+
+    def test_summary(self, simple_supervision):
+        summary = simple_supervision.summary()
+        assert summary["n_covered"] == 6
+        assert summary["n_clusters"] == 2
+        assert summary["min_cluster_size"] == 3
+
+
+class TestRestrictTo:
+    def test_restriction_reindexes(self, simple_supervision):
+        restricted = simple_supervision.restrict_to([0, 1, 5, 6])
+        assert restricted.n_samples == 4
+        np.testing.assert_array_equal(restricted.labels, [0, 0, 1, 1])
+
+    def test_restriction_without_covered_instances_fails(self, simple_supervision):
+        with pytest.raises(SupervisionError):
+            simple_supervision.restrict_to([3, 4, 8])
+
+    def test_restriction_requires_1d(self, simple_supervision):
+        with pytest.raises(SupervisionError):
+            simple_supervision.restrict_to(np.array([[0, 1]]))
+
+    def test_metadata_flag(self, simple_supervision):
+        restricted = simple_supervision.restrict_to([0, 1, 2])
+        assert restricted.metadata["restricted"] is True

@@ -1,0 +1,109 @@
+"""Tests for unanimous and majority voting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.supervision.voting import agreement_mask, majority_vote, unanimous_vote
+
+
+class TestUnanimousVote:
+    def test_full_agreement(self):
+        partition = np.array([0, 0, 1, 1])
+        labels, mask = unanimous_vote([partition, partition.copy(), partition.copy()])
+        np.testing.assert_array_equal(labels, partition)
+        assert mask.all()
+
+    def test_partial_agreement(self):
+        p1 = np.array([0, 0, 1, 1])
+        p2 = np.array([0, 1, 1, 1])
+        labels, mask = unanimous_vote([p1, p2])
+        np.testing.assert_array_equal(mask, [True, False, True, True])
+        np.testing.assert_array_equal(labels, [0, -1, 1, 1])
+
+    def test_no_agreement(self):
+        p1 = np.array([0, 0])
+        p2 = np.array([1, 1])
+        labels, mask = unanimous_vote([p1, p2])
+        assert not mask.any()
+        assert np.all(labels == -1)
+
+    def test_single_partition_agrees_with_itself(self):
+        p = np.array([3, 1, 2])
+        labels, mask = unanimous_vote([p])
+        assert mask.all()
+        np.testing.assert_array_equal(labels, p)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValidationError):
+            unanimous_vote([])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            unanimous_vote([np.array([0, 1]), np.array([0, 1, 2])])
+
+    @given(
+        st.integers(2, 30).flatmap(
+            lambda n: st.lists(
+                st.lists(st.integers(0, 3), min_size=n, max_size=n),
+                min_size=1,
+                max_size=4,
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_consensus_labels_match_every_partition(self, partitions):
+        partitions = [np.array(p) for p in partitions]
+        labels, mask = unanimous_vote(partitions)
+        for partition in partitions:
+            np.testing.assert_array_equal(labels[mask], partition[mask])
+        assert np.all(labels[~mask] == -1)
+
+
+class TestMajorityVote:
+    def test_two_out_of_three(self):
+        p1 = np.array([0, 0, 1, 1])
+        p2 = np.array([0, 0, 1, 0])
+        p3 = np.array([0, 1, 1, 1])
+        labels, mask = majority_vote([p1, p2, p3])
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1])
+        assert mask.all()
+
+    def test_strict_threshold_drops_ties(self):
+        p1 = np.array([0, 0])
+        p2 = np.array([1, 0])
+        labels, mask = majority_vote([p1, p2], min_agreement=0.5)
+        # 1/2 agreement is not strictly greater than 0.5 -> dropped.
+        assert labels[0] == -1 and not mask[0]
+        assert labels[1] == 0 and mask[1]
+
+    def test_full_agreement_always_kept(self):
+        p = np.array([2, 2, 2])
+        labels, mask = majority_vote([p, p.copy()], min_agreement=0.99)
+        assert mask.all()
+
+    def test_majority_is_superset_of_unanimous(self):
+        rng = np.random.default_rng(0)
+        partitions = [rng.integers(0, 3, 40) for _ in range(3)]
+        _, unanimous_mask = unanimous_vote(partitions)
+        _, majority_mask = majority_vote(partitions)
+        assert np.all(majority_mask[unanimous_mask])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            majority_vote([np.array([0, 1])], min_agreement=0.0)
+        with pytest.raises(ValidationError):
+            majority_vote([np.array([0, 1])], min_agreement=1.5)
+
+
+class TestAgreementMask:
+    def test_matches_unanimous_vote(self):
+        rng = np.random.default_rng(1)
+        partitions = [rng.integers(0, 2, 20) for _ in range(3)]
+        mask = agreement_mask(partitions)
+        _, expected = unanimous_vote(partitions)
+        np.testing.assert_array_equal(mask, expected)

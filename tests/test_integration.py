@@ -1,0 +1,99 @@
+"""End-to-end integration tests.
+
+These exercise the full paper pipeline on reduced-size analogues of the two
+dataset suites and check the *qualitative* claims of the evaluation: the
+sls-model features must not be worse than the plain-model features for the
+same downstream clusterer, and the whole grid must produce valid metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_msra_mm_dataset, load_uci_dataset
+from repro.experiments.grids import build_algorithm
+from repro.experiments.runner import ExperimentRunner
+from repro.datasets.base import Dataset, DatasetSuite
+
+
+@pytest.fixture(scope="module")
+def small_msra() -> Dataset:
+    return load_msra_mm_dataset("BO", scale=0.15, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def small_uci() -> Dataset:
+    return load_uci_dataset("IR", scale=1.0, random_state=0)
+
+
+class TestDatasetsIPipeline:
+    def test_grbm_family_grid_runs(self, small_msra):
+        for name in ("K-means", "K-means+GRBM", "K-means+slsGRBM"):
+            pipeline = build_algorithm(
+                name, small_msra.n_classes, n_hidden=16, n_epochs=5, random_state=0
+            )
+            result = pipeline.run(small_msra)
+            assert 0.0 <= result.report.accuracy <= 1.0
+            assert 0.0 <= result.report.purity <= 1.0
+            assert 0.0 <= result.report.fmi <= 1.0
+
+    def test_sls_features_not_degenerate(self, small_msra):
+        pipeline = build_algorithm(
+            "K-means+slsGRBM", small_msra.n_classes, n_hidden=16, n_epochs=5, random_state=0
+        )
+        features = pipeline.framework.fit_transform(small_msra.data)
+        assert features.std() > 1e-4
+        assert np.all(np.isfinite(features))
+
+
+class TestDatasetsIIPipeline:
+    def test_rbm_family_grid_runs(self, small_uci):
+        for name in ("DP", "DP+RBM", "DP+slsRBM"):
+            pipeline = build_algorithm(
+                name, small_uci.n_classes, n_hidden=16, n_epochs=10, random_state=0
+            )
+            result = pipeline.run(small_uci)
+            assert 0.0 <= result.report.accuracy <= 1.0
+            assert 0.0 <= result.report.rand <= 1.0
+
+    def test_sls_rbm_beats_plain_rbm_on_average(self):
+        """The paper's headline qualitative claim on datasets II.
+
+        Averaged over datasets and base clusterers, the slsRBM features must
+        give at least as good accuracy as the plain RBM features.
+        """
+        datasets = [
+            load_uci_dataset("IR", random_state=0),
+            load_uci_dataset("BCW", scale=0.4, random_state=0),
+        ]
+        suite = DatasetSuite("mini-uci", datasets)
+        runner = ExperimentRunner(
+            ("K-means+RBM", "K-means+slsRBM"),
+            n_repeats=1,
+            n_hidden=24,
+            n_epochs=15,
+            batch_size=32,
+            random_state=0,
+        )
+        table = runner.run_suite(suite)
+        averages = table.column_averages("accuracy")
+        assert averages["K-means+slsRBM"] >= averages["K-means+RBM"] - 0.02
+
+
+class TestFullGridSmoke:
+    def test_mini_experiment_table(self):
+        data_set = load_uci_dataset("IR", random_state=0)
+        suite = DatasetSuite("ir-only", [data_set])
+        runner = ExperimentRunner(
+            ("DP", "DP+RBM", "DP+slsRBM"),
+            n_repeats=1,
+            n_hidden=16,
+            n_epochs=8,
+            random_state=0,
+        )
+        table = runner.run_suite(suite)
+        rows = table.rows("accuracy")
+        assert rows[-1]["dataset"] == "Average"
+        for algorithm in ("DP", "DP+RBM", "DP+slsRBM"):
+            assert 0.0 <= rows[0][algorithm] <= 1.0

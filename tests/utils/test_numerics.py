@@ -1,0 +1,149 @@
+"""Tests for repro.utils.numerics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.utils.numerics import (
+    log1pexp,
+    logsumexp,
+    pairwise_squared_distances,
+    sigmoid,
+    softmax,
+    squared_norm,
+    stable_log,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x))
+
+    def test_extreme_values_do_not_overflow(self):
+        values = sigmoid(np.array([-1e4, -500.0, 500.0, 1e4]))
+        assert np.all(np.isfinite(values))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[-1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_matches_naive_formula_in_safe_range(self):
+        x = np.linspace(-20, 20, 101)
+        naive = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(sigmoid(x), naive, rtol=1e-12)
+
+    def test_preserves_shape(self):
+        x = np.zeros((3, 4, 5))
+        assert sigmoid(x).shape == (3, 4, 5)
+
+    @given(arrays(np.float64, array_shapes(max_dims=2, max_side=6),
+                  elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, x):
+        out = sigmoid(x)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestLog1pExp:
+    def test_matches_naive_for_small_values(self):
+        x = np.linspace(-20, 20, 81)
+        np.testing.assert_allclose(log1pexp(x), np.log1p(np.exp(x)), rtol=1e-10)
+
+    def test_large_values_linear(self):
+        x = np.array([50.0, 500.0, 5e5])
+        np.testing.assert_allclose(log1pexp(x), x, rtol=1e-10)
+
+    def test_monotone(self):
+        x = np.linspace(-100, 100, 500)
+        assert np.all(np.diff(log1pexp(x)) >= 0)
+
+
+class TestLogSumExp:
+    def test_scalar_reduction(self):
+        x = np.log(np.array([1.0, 2.0, 3.0]))
+        assert logsumexp(x) == pytest.approx(np.log(6.0))
+
+    def test_axis_reduction(self):
+        x = np.log(np.arange(1, 7, dtype=float)).reshape(2, 3)
+        expected = np.log(np.exp(x).sum(axis=1))
+        np.testing.assert_allclose(logsumexp(x, axis=1), expected)
+
+    def test_handles_large_magnitudes(self):
+        x = np.array([1000.0, 1000.0])
+        assert logsumexp(x) == pytest.approx(1000.0 + np.log(2.0))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(x, axis=1).sum(axis=1), np.ones(4))
+
+    def test_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestStableLog:
+    def test_zero_does_not_produce_inf(self):
+        assert np.isfinite(stable_log(np.array([0.0]))).all()
+
+    def test_positive_values_unchanged(self):
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(stable_log(x), np.log(x))
+
+
+class TestSquaredNorm:
+    def test_simple(self):
+        assert squared_norm(np.array([3.0, 4.0])) == pytest.approx(25.0)
+
+    def test_matrix_is_flattened(self):
+        x = np.ones((2, 3))
+        assert squared_norm(x) == pytest.approx(6.0)
+
+
+class TestPairwiseSquaredDistances:
+    def test_self_distances_zero_diagonal(self):
+        x = np.random.default_rng(1).normal(size=(10, 3))
+        d = pairwise_squared_distances(x)
+        np.testing.assert_allclose(np.diag(d), np.zeros(10), atol=1e-9)
+
+    def test_symmetry(self):
+        x = np.random.default_rng(2).normal(size=(8, 4))
+        d = pairwise_squared_distances(x)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(6, 5))
+        b = rng.normal(size=(4, 5))
+        d = pairwise_squared_distances(a, b)
+        expected = np.array(
+            [[np.sum((ai - bj) ** 2) for bj in b] for ai in a]
+        )
+        np.testing.assert_allclose(d, expected, rtol=1e-9)
+
+    def test_non_negative(self):
+        x = np.full((5, 2), 3.14159)
+        assert np.all(pairwise_squared_distances(x) >= 0.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_squared_distances(np.ones((3, 2)), np.ones((3, 4)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pairwise_squared_distances(np.ones(3))
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(1, 5)),
+                  elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_like_property(self, x):
+        d = pairwise_squared_distances(x)
+        assert np.all(d >= 0)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)

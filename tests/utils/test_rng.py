@@ -1,0 +1,60 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_children
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(check_random_state(np.int64(7)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        children = spawn_children(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_children(0, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_seed(self):
+        first = [c.random(3) for c in spawn_children(9, 3)]
+        second = [c.random(3) for c in spawn_children(9, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
