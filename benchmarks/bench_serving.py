@@ -1,0 +1,103 @@
+"""Benchmarks of the persistence + serving subsystem.
+
+Measures the three costs that matter for the train/serve split:
+
+* **cold load** — rebuilding a fitted framework from its artifact bundle
+  (what a serving replica pays at startup);
+* **uncached encode** — a full preprocess + micro-batched forward pass;
+* **cached encode** — the same request answered from the LRU feature cache.
+
+The cached/uncached ratio is also emitted as a one-line summary so the cache
+win is visible without reading the pytest-benchmark table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.datasets.synthetic import make_high_dimensional_mixture
+from repro.persistence import load_framework, save_framework
+from repro.serving import EncodingService
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    """A fitted slsGRBM framework, its artifact bundle and an encode matrix."""
+    data, _ = make_high_dimensional_mixture(
+        600, 200, 3, separation=1.5, random_state=0
+    )
+    config = FrameworkConfig(
+        model="sls_grbm",
+        n_hidden=64,
+        n_epochs=3,
+        batch_size=64,
+        random_state=0,
+        extra={"supervision_learning_rate": 8e-3},
+    )
+    framework = SelfLearningEncodingFramework(config, n_clusters=3)
+    framework.fit(data)
+    bundle = save_framework(
+        framework, tmp_path_factory.mktemp("artifacts") / "sls_grbm"
+    )
+    return framework, bundle, data
+
+
+def bench_cold_load(benchmark, serving_setup):
+    """Artifact bundle -> ready-to-serve framework (manifest, checksum, npz)."""
+    _, bundle, _ = serving_setup
+    benchmark(load_framework, bundle)
+
+
+def bench_encode_uncached(benchmark, serving_setup):
+    """600 x 200 encode with the cache bypassed (full forward pass)."""
+    _, bundle, data = serving_setup
+    service = EncodingService(max_batch_size=256)
+    service.load("m", bundle)
+    benchmark(service.encode, "m", data, use_cache=False)
+
+
+def bench_encode_cached(benchmark, serving_setup):
+    """The same encode answered from the LRU feature cache."""
+    _, bundle, data = serving_setup
+    service = EncodingService(max_batch_size=256)
+    service.load("m", bundle)
+    service.warm("m", data)
+    benchmark(service.encode, "m", data)
+
+
+def bench_serving_summary(serving_setup):
+    """One-line summary: cold-load time and cached vs uncached throughput."""
+    _, bundle, data = serving_setup
+
+    start = time.perf_counter()
+    load_framework(bundle)
+    cold_load_ms = (time.perf_counter() - start) * 1e3
+
+    service = EncodingService(max_batch_size=256)
+    service.load("m", bundle)
+    rounds = 20
+    start = time.perf_counter()
+    for _ in range(rounds):
+        service.encode("m", data, use_cache=False)
+    uncached = rounds * data.shape[0] / (time.perf_counter() - start)
+
+    service.warm("m", data)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        service.encode("m", data)
+    cached = rounds * data.shape[0] / (time.perf_counter() - start)
+
+    emit(
+        f"\n================ serving ================\n"
+        f"cold load: {cold_load_ms:.1f} ms, "
+        f"uncached encode: {uncached:,.0f} samples/s, "
+        f"cached encode: {cached:,.0f} samples/s "
+        f"({cached / uncached:.0f}x)"
+    )
+    assert cached > uncached

@@ -8,4 +8,6 @@ metadata lives in ``pyproject.toml``.
 
 from setuptools import setup
 
-setup()
+setup(
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -8,6 +8,13 @@ unsupervised clusterings with an unanimous-voting strategy — so that hidden
 features of the same local cluster constrict together while the centres of
 different clusters disperse.
 
+Beyond the paper pipeline, the package provides a production train/serve
+split: :mod:`repro.persistence` persists fitted frameworks as versioned
+artifact bundles, :mod:`repro.serving` loads them into an
+:class:`EncodingService` (micro-batching, LRU feature cache, latency
+counters), and ``python -m repro`` drives the whole lifecycle from the shell
+(see :mod:`repro.cli`).
+
 Quickstart
 ----------
 >>> from repro import FrameworkConfig, SelfLearningEncodingFramework
@@ -25,13 +32,15 @@ Quickstart
 True
 """
 
+__version__ = "1.1.0"
+
 from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
 from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
 from repro.core.pipeline import ClusteringPipeline, PipelineResult
+from repro.persistence import load_framework, load_model, save_framework, save_model
 from repro.rbm import BernoulliRBM, GaussianRBM, SlsGRBM, SlsRBM
+from repro.serving import EncodingService
 from repro.supervision import LocalSupervision, MultiClusteringIntegration
-
-__version__ = "1.0.0"
 
 __all__ = [
     "__version__",
@@ -48,4 +57,9 @@ __all__ = [
     "SlsGRBM",
     "LocalSupervision",
     "MultiClusteringIntegration",
+    "save_framework",
+    "load_framework",
+    "save_model",
+    "load_model",
+    "EncodingService",
 ]

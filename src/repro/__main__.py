@@ -1,0 +1,7 @@
+"""``python -m repro`` dispatches to :func:`repro.cli.main`."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>`` (or the ``repro``
+console script).
+
+Four subcommands cover the train/serve lifecycle introduced by
+:mod:`repro.persistence` and :mod:`repro.serving`:
+
+* ``train``    — fit a framework on a built-in (synthetic-analogue) dataset
+  and persist it as an artifact bundle;
+* ``encode``   — load an artifact and encode a dataset or a feature file,
+  writing the hidden features to disk;
+* ``evaluate`` — load an artifact, encode a labelled dataset, cluster the
+  features and print every external metric;
+* ``info``     — inspect an artifact bundle's manifest.
+
+Examples
+--------
+::
+
+    python -m repro train --suite uci --dataset IR --model sls_rbm \
+        --n-hidden 16 --epochs 5 --out artifacts/ir
+    python -m repro encode --artifact artifacts/ir --suite uci --dataset IR \
+        --output features.npy
+    python -m repro evaluate --artifact artifacts/ir --suite uci --dataset IR
+    python -m repro info --artifact artifacts/ir
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ReproError, ValidationError
+
+__all__ = ["main", "build_parser"]
+
+_MODEL_CHOICES = ("sls_grbm", "sls_rbm", "grbm", "rbm")
+#: Paper preprocessing per model kind (Section V.B), used for --preprocessing auto.
+_AUTO_PREPROCESSING = {
+    "sls_grbm": "standardize",
+    "grbm": "standardize",
+    "sls_rbm": "median_binarize",
+    "rbm": "median_binarize",
+}
+
+
+# ------------------------------------------------------------------ datasets
+def _add_dataset_arguments(parser: argparse.ArgumentParser, *, required: bool) -> None:
+    group = parser.add_argument_group("dataset selection")
+    group.add_argument(
+        "--suite",
+        choices=("uci", "msra"),
+        default="uci",
+        help="built-in dataset suite (synthetic analogues; default: uci)",
+    )
+    group.add_argument(
+        "--dataset",
+        required=required,
+        help="dataset abbreviation within the suite (e.g. IR, BCW; BO, WA)",
+    )
+    group.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="size multiplier applied to the dataset shape (default: 1.0)",
+    )
+    group.add_argument(
+        "--data-seed",
+        type=int,
+        default=0,
+        help="seed of the synthetic dataset generator (default: 0)",
+    )
+
+
+def _load_dataset(args: argparse.Namespace):
+    from repro.datasets import load_msra_mm_dataset, load_uci_dataset
+
+    loader = load_uci_dataset if args.suite == "uci" else load_msra_mm_dataset
+    return loader(args.dataset, scale=args.scale, random_state=args.data_seed)
+
+
+def _load_input_matrix(path: str) -> np.ndarray:
+    path = Path(path)
+    if path.suffix == ".npy":
+        return np.load(path)
+    return np.loadtxt(path, delimiter="," if path.suffix == ".csv" else None)
+
+
+def _save_output_matrix(path: str, features: np.ndarray) -> None:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".npy":
+        np.save(path, features)
+    else:
+        np.savetxt(path, features, delimiter="," if path.suffix == ".csv" else " ")
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.config import FrameworkConfig
+    from repro.core.framework import SelfLearningEncodingFramework
+    from repro.persistence import save_framework
+
+    dataset = _load_dataset(args)
+    preprocessing = (
+        _AUTO_PREPROCESSING[args.model]
+        if args.preprocessing == "auto"
+        else args.preprocessing
+    )
+    config = FrameworkConfig(
+        model=args.model,
+        n_hidden=args.n_hidden,
+        eta=args.eta,
+        learning_rate=args.learning_rate,
+        n_epochs=args.epochs,
+        batch_size=args.batch_size,
+        preprocessing=preprocessing,
+        supervision_preprocessing="standardize"
+        if preprocessing == "median_binarize"
+        else None,
+        random_state=args.seed,
+    )
+    framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
+    framework.fit(dataset.data)
+    bundle = save_framework(framework, args.out)
+
+    history = framework.model_.training_history_
+    print(f"trained {config.model} on {args.suite}:{dataset.abbreviation} "
+          f"({dataset.n_samples} x {dataset.n_features}, {dataset.n_classes} classes)")
+    print(f"epochs run: {history.n_epochs_run}, "
+          f"final reconstruction error: {history.final_reconstruction_error:.6f}")
+    if framework.supervision_ is not None:
+        summary = framework.supervision_.summary()
+        print(f"supervision: {summary['n_clusters']} local clusters, "
+              f"coverage {summary['coverage']:.2f}")
+    print(f"artifact written to {bundle}")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.serving import EncodingService
+
+    if (args.input is None) == (args.dataset is None):
+        raise ValidationError("encode needs exactly one of --input or --dataset")
+    data = (
+        _load_input_matrix(args.input)
+        if args.input is not None
+        else _load_dataset(args).data
+    )
+
+    service = EncodingService(max_batch_size=args.batch_size)
+    service.load("model", args.artifact)
+    features = service.encode("model", data)
+    stats = service.stats("model")
+
+    print(f"encoded {features.shape[0]} x {data.shape[1]} -> "
+          f"{features.shape[0]} x {features.shape[1]} features "
+          f"in {stats['last_latency_seconds'] * 1e3:.1f} ms "
+          f"({stats['n_batches']} micro-batches)")
+    if args.output is not None:
+        _save_output_matrix(args.output, features)
+        print(f"features written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.clustering.registry import make_clusterer
+    from repro.metrics.report import evaluate_clustering
+    from repro.persistence import load_framework
+
+    dataset = _load_dataset(args)
+    framework = load_framework(args.artifact)
+    features = framework.transform(dataset.data)
+    clusterer = make_clusterer(
+        args.clusterer, dataset.n_classes, random_state=args.seed
+    )
+    labels = clusterer.fit_predict(features)
+    report = evaluate_clustering(dataset.labels, labels)
+
+    print(f"{args.clusterer} on {framework.config.model} features of "
+          f"{args.suite}:{dataset.abbreviation}")
+    for metric, value in report.as_dict().items():
+        print(f"  {metric:<14} {value:.4f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.persistence import read_manifest
+
+    manifest = read_manifest(args.artifact)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    print(f"kind:           {manifest.get('kind')}")
+    print(f"schema version: {manifest.get('schema_version')}")
+    print(f"repro version:  {manifest.get('repro_version')}")
+    model = manifest.get("model") or {}
+    if model:
+        config = model.get("config", {})
+        print(f"model:          {model.get('class')} ({model.get('model_kind')}), "
+              f"n_hidden={config.get('n_hidden')}")
+        history = model.get("history")
+        if history:
+            errors = history.get("reconstruction_errors", [])
+            final = f"{errors[-1]:.6f}" if errors else "n/a"
+            print(f"training:       {history.get('n_epochs_run')} epochs, "
+                  f"final reconstruction error {final}")
+    framework = manifest.get("framework") or {}
+    if framework:
+        config = framework.get("config", {})
+        print(f"framework:      model={config.get('model')}, "
+              f"preprocessing={config.get('preprocessing')}, "
+              f"n_clusters={framework.get('n_clusters')}")
+    supervision = model.get("supervision")
+    if supervision:
+        print(f"supervision:    {supervision.get('n_samples')} samples, "
+              f"metadata={supervision.get('metadata')}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Train, persist, serve and evaluate slsRBM/slsGRBM encoders.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser(
+        "train", help="fit a framework on a built-in dataset and save an artifact"
+    )
+    _add_dataset_arguments(train, required=True)
+    train.add_argument("--model", choices=_MODEL_CHOICES, default="sls_rbm")
+    train.add_argument("--n-hidden", type=int, default=64)
+    train.add_argument("--eta", type=float, default=0.5)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument(
+        "--preprocessing",
+        choices=("auto", "standardize", "minmax", "median_binarize", "none"),
+        default="auto",
+        help="'auto' picks the paper's preprocessing for the model",
+    )
+    train.add_argument("--seed", type=int, default=0, help="training seed")
+    train.add_argument("--out", required=True, help="artifact bundle directory")
+    train.set_defaults(func=_cmd_train)
+
+    encode = subparsers.add_parser(
+        "encode", help="encode a dataset or feature file with a saved artifact"
+    )
+    encode.add_argument("--artifact", required=True)
+    encode.add_argument("--input", help="input matrix (.npy, .csv or whitespace text)")
+    _add_dataset_arguments(encode, required=False)
+    encode.add_argument("--output", help="where to write the features (.npy/.csv/text)")
+    encode.add_argument("--batch-size", type=int, default=4096,
+                        help="serving micro-batch size")
+    encode.set_defaults(func=_cmd_encode)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="cluster the encoded features and print every metric"
+    )
+    evaluate.add_argument("--artifact", required=True)
+    _add_dataset_arguments(evaluate, required=True)
+    evaluate.add_argument("--clusterer", default="kmeans",
+                          help="downstream clusterer (default: kmeans)")
+    evaluate.add_argument("--seed", type=int, default=0,
+                          help="downstream clusterer seed")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    info = subparsers.add_parser("info", help="print an artifact's manifest summary")
+    info.add_argument("--artifact", required=True)
+    info.add_argument("--json", action="store_true",
+                      help="dump the raw manifest as JSON")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -8,7 +8,7 @@ used by the paper's experiments (Section V.B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.exceptions import ValidationError
 
@@ -133,6 +133,23 @@ class FrameworkConfig:
             "random_state": self.random_state,
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrameworkConfig":
+        """Inverse of :meth:`as_dict` (used by :mod:`repro.persistence`)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown FrameworkConfig fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        if "clusterers" in kwargs:
+            kwargs["clusterers"] = tuple(kwargs["clusterers"])
+        if "extra" in kwargs:
+            kwargs["extra"] = dict(kwargs["extra"])
+        return cls(**kwargs)
 
 
 #: Paper settings for the slsGRBM experiments on the MSRA-MM 2.0 datasets:

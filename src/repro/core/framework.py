@@ -207,8 +207,14 @@ class SelfLearningEncodingFramework:
             config=self.config,
         )
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed (or the framework was loaded
+        from an artifact via :func:`repro.persistence.load_framework`)."""
+        return hasattr(self, "model_")
+
     def _check_fitted(self) -> None:
-        if not hasattr(self, "model_"):
+        if not self.is_fitted:
             raise NotFittedError(
                 "SelfLearningEncodingFramework is not fitted yet; call fit() first"
             )

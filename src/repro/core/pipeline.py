@@ -95,12 +95,31 @@ class ClusteringPipeline:
         }[self.framework.config.model]
         return f"{base}+{model}"
 
-    def run(self, dataset: Dataset) -> PipelineResult:
-        """Fit (optionally) the framework, cluster, and evaluate on ``dataset``."""
+    def run(
+        self, dataset: Dataset, *, supervision=None, reuse_fitted: bool = False
+    ) -> PipelineResult:
+        """Fit (optionally) the framework, cluster, and evaluate on ``dataset``.
+
+        Parameters
+        ----------
+        dataset : Dataset
+        supervision : LocalSupervision, optional
+            Pre-computed supervision forwarded to the framework fit; lets the
+            experiment runner reuse one multi-clustering integration across
+            the cells that share it.
+        reuse_fitted : bool, default False
+            Treat an already-fitted framework (e.g. loaded through
+            :func:`repro.persistence.load_framework` for a warm start) as
+            final and produce features with :meth:`transform` instead of
+            refitting.  Off by default so that reusing one pipeline object
+            across datasets keeps refitting per dataset.
+        """
         if self.framework is None:
             features = dataset.data
+        elif reuse_fitted and self.framework.is_fitted:
+            features = self.framework.transform(dataset.data)
         else:
-            features = self.framework.fit_transform(dataset.data)
+            features = self.framework.fit_transform(dataset.data, supervision=supervision)
 
         clusterer = make_clusterer(
             self.clusterer_name, self.n_clusters, random_state=self.random_state

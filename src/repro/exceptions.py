@@ -32,3 +32,21 @@ class DatasetError(ReproError, KeyError):
 class SupervisionError(ReproError, ValueError):
     """Raised when local supervisions cannot be constructed (e.g. no
     instance survives unanimous voting)."""
+
+
+class PersistenceError(ReproError, IOError):
+    """Raised when a model artifact cannot be written or read."""
+
+
+class ArtifactCorruptedError(PersistenceError):
+    """Raised when an artifact bundle fails integrity checks (missing files,
+    checksum mismatch, undecodable manifest or arrays)."""
+
+
+class SchemaVersionError(PersistenceError):
+    """Raised when an artifact was written with an incompatible schema
+    version of the persistence layer."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Raised by the serving layer (unknown model name, bad request)."""

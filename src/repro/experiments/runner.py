@@ -7,12 +7,14 @@ optional repetitions to report the mean and variance of stochastic cells
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.base import Dataset, DatasetSuite
-from repro.exceptions import ValidationError
+from repro.exceptions import PersistenceError, ValidationError
 from repro.experiments.grids import build_algorithm
 from repro.metrics.report import ClusteringReport
 from repro.utils.validation import check_positive_int
@@ -123,6 +125,19 @@ class ExperimentRunner:
         Base seed; repeat ``r`` uses ``random_state + r``.
     config_overrides : dict, optional
         Forwarded to :func:`build_algorithm` (ablation hook).
+    artifact_dir : str or Path, optional
+        Warm-start directory.  When set, every fitted framework is persisted
+        there (one bundle per dataset/algorithm/repeat) and later runs load
+        the bundle instead of retraining; within one run, the multi-clustering
+        supervision is additionally shared across the sls cells of a dataset
+        that request the identical integration.
+
+    Attributes
+    ----------
+    n_artifact_hits : int
+        Cells served from a persisted framework bundle instead of retraining.
+    n_supervision_hits : int
+        Framework fits that reused an in-memory cached supervision.
     """
 
     def __init__(
@@ -135,6 +150,7 @@ class ExperimentRunner:
         batch_size: int = 64,
         random_state: int = 0,
         config_overrides: dict | None = None,
+        artifact_dir: str | Path | None = None,
     ) -> None:
         if not algorithm_names:
             raise ValidationError("algorithm_names must not be empty")
@@ -145,10 +161,56 @@ class ExperimentRunner:
         self.batch_size = check_positive_int(batch_size, name="batch_size")
         self.random_state = int(random_state)
         self.config_overrides = dict(config_overrides or {})
+        self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self._supervision_cache: dict[tuple, object] = {}
+        self.n_artifact_hits = 0
+        self.n_supervision_hits = 0
+
+    # --------------------------------------------------------------- warm start
+    def _artifact_path(self, dataset: Dataset, algorithm: str, repeat: int) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "-", algorithm)
+        return self.artifact_dir / f"{dataset.abbreviation}__{safe}__r{repeat}"
+
+    @staticmethod
+    def _supervision_key(dataset: Dataset, framework) -> tuple:
+        config = framework.config
+        return (
+            dataset.abbreviation,
+            framework.n_clusters,
+            config.supervision_preprocessing or config.preprocessing,
+            config.clusterers,
+            config.voting,
+            config.min_agreement,
+            config.random_state,
+        )
+
+    def _load_warm_framework(self, bundle: Path, expected, dataset: Dataset):
+        from repro.persistence import load_framework
+
+        if not bundle.is_dir():
+            return None
+        try:
+            loaded = load_framework(bundle)
+        except (PersistenceError, ValidationError, KeyError):
+            # A corrupted or undecodable bundle falls back to retraining (and
+            # is overwritten by the fresh fit below).
+            return None
+        # A bundle left over from a run with different hyper-parameters (the
+        # ablation hook changes eta/n_hidden/... without changing the cell
+        # name) or a differently-sized dataset must not be reused silently.
+        if (
+            loaded.config != expected.config
+            or loaded.n_clusters != expected.n_clusters
+            or loaded.model_.n_visible_ != dataset.n_features
+        ):
+            return None
+        return loaded
 
     # --------------------------------------------------------------------- API
     def run_cell(self, dataset: Dataset, algorithm: str) -> ExperimentCell:
         """Evaluate one (dataset, algorithm) cell with repeats."""
+        from repro.persistence import save_framework
+
         reports: list[ClusteringReport] = []
         for repeat in range(self.n_repeats):
             pipeline = build_algorithm(
@@ -160,7 +222,45 @@ class ExperimentRunner:
                 random_state=self.random_state + repeat,
                 config_overrides=self.config_overrides or None,
             )
-            reports.append(pipeline.run(dataset).report)
+            warm = None
+            if pipeline.framework is not None and self.artifact_dir is not None:
+                bundle = self._artifact_path(dataset, algorithm, repeat)
+                warm = self._load_warm_framework(bundle, pipeline.framework, dataset)
+                if warm is not None:
+                    pipeline.framework = warm
+                    self.n_artifact_hits += 1
+
+            supervision = None
+            if (
+                warm is None
+                and pipeline.framework is not None
+                and pipeline.framework.config.uses_supervision
+            ):
+                key = self._supervision_key(dataset, pipeline.framework)
+                supervision = self._supervision_cache.get(key)
+                if supervision is not None:
+                    self.n_supervision_hits += 1
+
+            reports.append(
+                pipeline.run(
+                    dataset, supervision=supervision, reuse_fitted=warm is not None
+                ).report
+            )
+
+            framework = pipeline.framework
+            if framework is not None and warm is None:
+                if (
+                    framework.config.uses_supervision
+                    and framework.supervision_ is not None
+                ):
+                    self._supervision_cache.setdefault(
+                        self._supervision_key(dataset, framework),
+                        framework.supervision_,
+                    )
+                if self.artifact_dir is not None:
+                    save_framework(
+                        framework, self._artifact_path(dataset, algorithm, repeat)
+                    )
 
         mean = {
             metric: float(np.mean([r[metric] for r in reports]))

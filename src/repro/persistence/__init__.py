@@ -1,0 +1,38 @@
+"""Versioned artifact store for trained models and frameworks.
+
+A trained :class:`~repro.core.framework.SelfLearningEncodingFramework` (or a
+bare RBM variant) is persisted as a *bundle*: a directory holding a JSON
+manifest (schema version, configuration, training history, supervision
+metadata, array checksum) next to an ``arrays.npz`` file with every fitted
+parameter.  Loading rebuilds the exact estimator — inference is
+bitwise-identical to the in-memory original — and fails loudly with
+:class:`~repro.exceptions.ArtifactCorruptedError` /
+:class:`~repro.exceptions.SchemaVersionError` on tampered or incompatible
+bundles.
+"""
+
+from repro.persistence.artifacts import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    load_framework,
+    load_model,
+    load_supervision,
+    read_manifest,
+    save_framework,
+    save_model,
+    save_supervision,
+)
+
+__all__ = [
+    "ARRAYS_NAME",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "save_model",
+    "load_model",
+    "save_framework",
+    "load_framework",
+    "save_supervision",
+    "load_supervision",
+    "read_manifest",
+]

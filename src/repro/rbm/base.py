@@ -122,6 +122,11 @@ class BaseRBM(abc.ABC):
         self.random_state = random_state
         self.verbose = bool(verbose)
 
+    #: Registry key of the concrete variant ("rbm", "grbm", "sls_rbm",
+    #: "sls_grbm"); used by :mod:`repro.persistence` to rebuild the right
+    #: class from an artifact manifest.
+    model_kind: str = ""
+
     # -------------------------------------------------------------- properties
     @property
     def is_fitted(self) -> bool:
@@ -309,6 +314,109 @@ class BaseRBM(abc.ABC):
         under the model); a cheap proxy for the log-likelihood."""
         data = check_array(data, name="data")
         return float(-np.mean(self.free_energy(data)))
+
+    # ------------------------------------------------------------- persistence
+    def get_config(self) -> dict:
+        """Constructor keyword arguments reproducing this estimator.
+
+        Only JSON-serialisable values are returned: a ``random_state`` given
+        as a ``numpy.random.Generator`` cannot be round-tripped and is
+        replaced by ``None``.
+        """
+        random_state = self.random_state
+        if not isinstance(random_state, (int, type(None))):
+            random_state = None
+        return {
+            "n_hidden": self.n_hidden,
+            "learning_rate": self.learning_rate,
+            "n_epochs": self.n_epochs,
+            "batch_size": self.batch_size,
+            "cd_steps": self.cd_steps,
+            "weight_sigma": self.weight_sigma,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "sample_hidden_states": self.sample_hidden_states,
+            "random_state": random_state,
+            "verbose": self.verbose,
+        }
+
+    def get_params(self) -> dict:
+        """Complete fitted state of the model, split by storage medium.
+
+        Returns a dictionary with:
+
+        * ``"arrays"`` — mapping of name to ndarray (weights, biases and the
+          momentum velocities), suitable for ``numpy.savez``;
+        * ``"history"`` — :meth:`TrainingHistory.to_dict` payload or ``None``
+          when the model was initialised but never trained through the
+          trainer;
+        * ``"supervision"`` — always ``None`` for the plain models; the sls
+          mixin overrides this with the attached supervision state.
+        """
+        self._check_fitted()
+        history = getattr(self, "training_history_", None)
+        return {
+            "arrays": {
+                "weights": self.weights_.copy(),
+                "visible_bias": self.visible_bias_.copy(),
+                "hidden_bias": self.hidden_bias_.copy(),
+                "velocity_weights": self._velocity_weights.copy(),
+                "velocity_visible_bias": self._velocity_visible_bias.copy(),
+                "velocity_hidden_bias": self._velocity_hidden_bias.copy(),
+            },
+            "history": history.to_dict() if history is not None else None,
+            "supervision": None,
+        }
+
+    def set_params(self, params: dict) -> "BaseRBM":
+        """Restore the state captured by :meth:`get_params`.
+
+        Inference (:meth:`transform`, :meth:`reconstruct`, :meth:`score`) is
+        bitwise-identical after a round-trip; the sampling stream is reseeded
+        from ``random_state``, so stochastic continuations may diverge from an
+        uninterrupted run.
+        """
+        from repro.rbm.trainer import TrainingHistory  # local import, avoids a cycle
+
+        arrays = params["arrays"]
+        weights = np.asarray(arrays["weights"], dtype=float)
+        if weights.ndim != 2:
+            raise ValidationError(f"weights must be 2-D, got shape {weights.shape}")
+        if weights.shape[1] != self.n_hidden:
+            raise ValidationError(
+                f"weights have {weights.shape[1]} hidden columns but the model "
+                f"was constructed with n_hidden={self.n_hidden}"
+            )
+        self.n_visible_ = weights.shape[0]
+        self.weights_ = weights
+        self.visible_bias_ = np.asarray(arrays["visible_bias"], dtype=float)
+        self.hidden_bias_ = np.asarray(arrays["hidden_bias"], dtype=float)
+        if self.visible_bias_.shape != (self.n_visible_,):
+            raise ValidationError(
+                f"visible_bias has shape {self.visible_bias_.shape}, "
+                f"expected ({self.n_visible_},)"
+            )
+        if self.hidden_bias_.shape != (self.n_hidden,):
+            raise ValidationError(
+                f"hidden_bias has shape {self.hidden_bias_.shape}, "
+                f"expected ({self.n_hidden},)"
+            )
+        self._velocity_weights = np.asarray(
+            arrays.get("velocity_weights", np.zeros_like(weights)), dtype=float
+        )
+        self._velocity_visible_bias = np.asarray(
+            arrays.get("velocity_visible_bias", np.zeros_like(self.visible_bias_)),
+            dtype=float,
+        )
+        self._velocity_hidden_bias = np.asarray(
+            arrays.get("velocity_hidden_bias", np.zeros_like(self.hidden_bias_)),
+            dtype=float,
+        )
+        self._rng = check_random_state(self.random_state)
+        history = params.get("history")
+        if history is not None:
+            self.training_history_ = TrainingHistory.from_dict(history)
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -21,6 +21,8 @@ __all__ = ["GaussianRBM"]
 class GaussianRBM(BaseRBM):
     """Gaussian linear visible units, binary hidden units, CD-k learning."""
 
+    model_kind = "grbm"
+
     @property
     def _binary_visible(self) -> bool:
         return False

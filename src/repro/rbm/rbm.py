@@ -23,6 +23,8 @@ class BernoulliRBM(BaseRBM):
     interpreted as Bernoulli probabilities.
     """
 
+    model_kind = "rbm"
+
     @property
     def _binary_visible(self) -> bool:
         return True

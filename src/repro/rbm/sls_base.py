@@ -144,6 +144,75 @@ class SupervisedCDMixin(BaseRBM):
             )
         return combined
 
+    # ------------------------------------------------------------- persistence
+    def get_config(self) -> dict:
+        """Constructor kwargs including the supervision hyper-parameters."""
+        config = super().get_config()
+        config.update(
+            eta=self.eta,
+            supervision_learning_rate=self.supervision_learning_rate,
+            supervision_grad_clip=self.supervision_grad_clip,
+        )
+        return config
+
+    def get_params(self) -> dict:
+        """Fitted state extended with the attached supervision (if any).
+
+        The supervision state comprises the covered visible submatrix, the
+        per-covered-row local cluster labels (from which the gradient index
+        sets are rebuilt) and, when available, the full
+        :class:`LocalSupervision` labels and metadata.
+        """
+        params = super().get_params()
+        if not self.has_supervision:
+            return params
+        index_sets = self._supervision_index_sets
+        n_covered = self._supervision_visible.shape[0]
+        covered_labels = np.full(n_covered, -1, dtype=int)
+        for cluster_id, members in index_sets.items():
+            covered_labels[members] = cluster_id
+        params["arrays"]["supervision_visible"] = self._supervision_visible.copy()
+        params["arrays"]["supervision_covered_labels"] = covered_labels
+        supervision = getattr(self, "supervision_", None)
+        if supervision is not None:
+            params["arrays"]["supervision_labels"] = supervision.labels.copy()
+            params["supervision"] = {
+                "n_samples": supervision.n_samples,
+                "metadata": dict(supervision.metadata),
+            }
+        else:
+            params["supervision"] = {}
+        return params
+
+    def set_params(self, params: dict) -> "SupervisedCDMixin":
+        """Restore fitted state and re-attach the serialised supervision."""
+        super().set_params(params)
+        arrays = params["arrays"]
+        if "supervision_visible" not in arrays:
+            self._supervision_visible = None
+            self._supervision_index_sets = None
+            return self
+        visible = np.asarray(arrays["supervision_visible"], dtype=float)
+        covered_labels = np.asarray(arrays["supervision_covered_labels"], dtype=int)
+        if covered_labels.shape[0] != visible.shape[0]:
+            raise ValidationError(
+                f"supervision_covered_labels has {covered_labels.shape[0]} entries "
+                f"but supervision_visible has {visible.shape[0]} rows"
+            )
+        self._supervision_visible = visible
+        self._supervision_index_sets = {
+            int(cid): np.flatnonzero(covered_labels == cid)
+            for cid in np.unique(covered_labels[covered_labels >= 0])
+        }
+        meta = params.get("supervision") or {}
+        if "supervision_labels" in arrays and meta.get("n_samples"):
+            self.supervision_ = LocalSupervision(
+                labels=np.asarray(arrays["supervision_labels"], dtype=int),
+                n_samples=int(meta["n_samples"]),
+                metadata=dict(meta.get("metadata", {})),
+            )
+        return self
+
     # ------------------------------------------------------------- training step
     def partial_fit(self, batch: np.ndarray) -> float:
         """CD update blended with the supervision gradient (Eq. 33-35)."""

@@ -21,6 +21,8 @@ class SlsGRBM(SupervisedCDMixin, GaussianRBM):
     parameters and :class:`repro.rbm.grbm.GaussianRBM` for the energy model.
     """
 
+    model_kind = "sls_grbm"
+
     def __init__(
         self,
         n_hidden: int,

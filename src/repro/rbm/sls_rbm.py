@@ -21,6 +21,8 @@ class SlsRBM(SupervisedCDMixin, BernoulliRBM):
     parameters and :class:`repro.rbm.rbm.BernoulliRBM` for the energy model.
     """
 
+    model_kind = "sls_rbm"
+
     def __init__(
         self,
         n_hidden: int,

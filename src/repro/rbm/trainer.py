@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.supervision.local_supervision import LocalSupervision
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array
@@ -43,8 +43,27 @@ class TrainingHistory:
     @property
     def final_reconstruction_error(self) -> float:
         if not self.reconstruction_errors:
-            raise ValueError("no epoch has been recorded yet")
+            raise NotFittedError("no epoch has been recorded yet")
         return self.reconstruction_errors[-1]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by :mod:`repro.persistence`)."""
+        return {
+            "reconstruction_errors": [float(e) for e in self.reconstruction_errors],
+            "supervision_losses": [float(e) for e in self.supervision_losses],
+            "n_epochs_run": int(self.n_epochs_run),
+            "stopped_early": bool(self.stopped_early),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            reconstruction_errors=[float(e) for e in payload.get("reconstruction_errors", [])],
+            supervision_losses=[float(e) for e in payload.get("supervision_losses", [])],
+            n_epochs_run=int(payload.get("n_epochs_run", 0)),
+            stopped_early=bool(payload.get("stopped_early", False)),
+        )
 
 
 class RBMTrainer:

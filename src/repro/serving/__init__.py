@@ -1,0 +1,19 @@
+"""Serving layer: loaded artifacts -> named models -> encode requests.
+
+:class:`EncodingService` is the process-local front end of the train/serve
+split introduced by :mod:`repro.persistence`: artifacts are loaded once into
+a named registry and then answer repeated ``encode(name, X)`` requests with
+micro-batching for large inputs, an LRU feature cache keyed on the input
+digest, and per-model latency/throughput counters.
+"""
+
+from repro.serving.cache import LRUFeatureCache, input_digest
+from repro.serving.service import EncodingService
+from repro.serving.stats import ModelStats
+
+__all__ = [
+    "EncodingService",
+    "LRUFeatureCache",
+    "ModelStats",
+    "input_digest",
+]

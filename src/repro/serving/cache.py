@@ -1,0 +1,97 @@
+"""LRU feature cache used by :class:`repro.serving.EncodingService`.
+
+Identical encode requests are frequent in clustering workloads (the same
+feature matrix is clustered by several downstream algorithms, or re-scored
+under several metrics), so the service memoises encoded features keyed on a
+content digest of the input matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["LRUFeatureCache", "input_digest"]
+
+
+def input_digest(data: np.ndarray) -> str:
+    """Content digest of a feature matrix (dtype, shape and raw bytes).
+
+    Two arrays receive the same digest iff they are bitwise-identical with
+    the same dtype and shape, which is exactly the condition under which the
+    encoded features are reusable.
+    """
+    data = np.ascontiguousarray(data)
+    digest = hashlib.sha256()
+    digest.update(str(data.dtype).encode())
+    digest.update(str(data.shape).encode())
+    digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+class LRUFeatureCache:
+    """Bounded mapping of cache keys to feature matrices, LRU eviction.
+
+    Parameters
+    ----------
+    max_entries : int
+        Maximum number of cached feature matrices; the least recently used
+        entry is evicted when the bound is exceeded.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object) -> np.ndarray | None:
+        """Cached features for ``key`` (marking it most recently used)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: object, value: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if needed."""
+        # Cached arrays are shared across callers; store a frozen private
+        # copy so neither the producer mutating its result nor a consumer
+        # mutating a cache hit can poison later hits.
+        value = np.array(value)
+        value.setflags(write=False)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def evict(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns the count."""
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUFeatureCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,214 @@
+"""The :class:`EncodingService`: a named-model registry answering encode calls.
+
+The service is the runtime half of the train/serve split: frameworks trained
+elsewhere (and persisted with :func:`repro.persistence.save_framework`) are
+loaded once, then serve repeated ``encode`` requests.  Three serving concerns
+live here rather than in the models:
+
+* **micro-batching** — large inputs are preprocessed once and pushed through
+  the model in bounded chunks, keeping peak activation memory flat;
+* **feature caching** — results are memoised in an LRU cache keyed on a
+  content digest of the input, so repeated encodes of the same matrix (the
+  common clustering-evaluation pattern) are free;
+* **observability** — per-model latency/throughput counters.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.exceptions import ServingError, ValidationError
+from repro.persistence import load_framework
+from repro.serving.cache import LRUFeatureCache, input_digest
+from repro.serving.stats import ModelStats
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["EncodingService"]
+
+
+class EncodingService:
+    """Serve encode requests for a registry of named, fitted frameworks.
+
+    Parameters
+    ----------
+    max_batch_size : int, default 4096
+        Upper bound on the rows pushed through a model in one step; larger
+        inputs are split into micro-batches after preprocessing (splitting
+        *before* preprocessing would change data-dependent transforms such as
+        standardisation).
+    cache_entries : int, default 64
+        Capacity of the LRU feature cache (0 disables caching).
+    clock : callable, default :func:`time.perf_counter`
+        Monotonic time source; injectable for deterministic tests.
+
+    Examples
+    --------
+    >>> service = EncodingService()
+    >>> service.register("ir", fitted_framework)      # doctest: +SKIP
+    >>> features = service.encode("ir", X)            # doctest: +SKIP
+    >>> service.stats("ir")["n_requests"]             # doctest: +SKIP
+    1
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 4096,
+        cache_entries: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.max_batch_size = check_positive_int(max_batch_size, name="max_batch_size")
+        if cache_entries < 0:
+            raise ValidationError(
+                f"cache_entries must be non-negative, got {cache_entries}"
+            )
+        self._cache = LRUFeatureCache(cache_entries) if cache_entries else None
+        self._clock = clock
+        self._models: dict[str, SelfLearningEncodingFramework] = {}
+        self._stats: dict[str, ModelStats] = {}
+
+    # ---------------------------------------------------------------- registry
+    def register(
+        self, name: str, framework: SelfLearningEncodingFramework
+    ) -> "EncodingService":
+        """Add a fitted framework to the registry under ``name``.
+
+        Re-registering an existing name replaces the model and resets its
+        counters (cached features of the old model are invalidated).
+        """
+        if not isinstance(framework, SelfLearningEncodingFramework):
+            raise ValidationError(
+                "framework must be a SelfLearningEncodingFramework, got "
+                f"{type(framework).__name__}"
+            )
+        if not framework.is_fitted:
+            raise ServingError(
+                f"cannot register {name!r}: the framework is not fitted "
+                "(train it or load a persisted artifact)"
+            )
+        name = str(name)
+        if not name:
+            raise ValidationError("model name must be a non-empty string")
+        self._models[name] = framework
+        self._stats[name] = ModelStats()
+        self._evict_cached(name)
+        return self
+
+    def load(self, name: str, path: str | Path) -> SelfLearningEncodingFramework:
+        """Load an artifact bundle from ``path`` and register it as ``name``."""
+        framework = load_framework(path)
+        self.register(name, framework)
+        return framework
+
+    def unregister(self, name: str) -> None:
+        """Remove a model (and its cached features and counters)."""
+        self.get(name)  # raises ServingError for unknown names
+        del self._models[name]
+        del self._stats[name]
+        self._evict_cached(name)
+
+    def get(self, name: str) -> SelfLearningEncodingFramework:
+        """The registered framework for ``name``."""
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ServingError(
+                f"no model registered under {name!r}; "
+                f"available: {sorted(self._models)}"
+            ) from None
+
+    @property
+    def model_names(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    # ---------------------------------------------------------------- serving
+    def encode(self, name: str, data, *, use_cache: bool = True) -> np.ndarray:
+        """Hidden features of ``data`` under the model registered as ``name``.
+
+        The result is identical to ``framework.transform(data)``; large
+        inputs are micro-batched after preprocessing.  Cached results are
+        returned as read-only arrays — copy before mutating.
+        """
+        framework = self.get(name)
+        data = check_array(data, name="data")
+        stats = self._stats[name]
+        start = self._clock()
+
+        key = None
+        if use_cache and self._cache is not None:
+            key = (name, input_digest(data))
+            cached = self._cache.get(key)
+            if cached is not None:
+                stats.record(
+                    n_samples=data.shape[0],
+                    seconds=self._clock() - start,
+                    cache_hit=True,
+                )
+                return cached
+
+        preprocessed = framework.preprocess(data)
+        parts = [
+            framework.model_.transform(chunk)
+            for chunk in self._iter_batches(preprocessed)
+        ]
+        features = parts[0] if len(parts) == 1 else np.vstack(parts)
+
+        if key is not None:
+            self._cache.put(key, features)
+        stats.record(
+            n_samples=data.shape[0],
+            seconds=self._clock() - start,
+            cache_hit=False,
+            n_batches=len(parts),
+        )
+        return features
+
+    def warm(self, name: str, data) -> None:
+        """Populate the cache for ``data`` without returning the features."""
+        self.encode(name, data)
+
+    def _iter_batches(self, data: np.ndarray) -> Iterator[np.ndarray]:
+        for start in range(0, data.shape[0], self.max_batch_size):
+            yield data[start : start + self.max_batch_size]
+
+    # ------------------------------------------------------------ observability
+    def stats(self, name: str | None = None) -> dict:
+        """Counters for one model, or for all models keyed by name."""
+        if name is not None:
+            self.get(name)
+            return self._stats[name].as_dict()
+        return {model: stats.as_dict() for model, stats in self._stats.items()}
+
+    @property
+    def cache_info(self) -> dict[str, int]:
+        """Global cache occupancy and hit/miss counters."""
+        if self._cache is None:
+            return {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0}
+        return {
+            "entries": len(self._cache),
+            "max_entries": self._cache.max_entries,
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+        }
+
+    def _evict_cached(self, name: str) -> None:
+        if self._cache is not None:
+            self._cache.evict(lambda key: key[0] == name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodingService(models={self.model_names}, "
+            f"max_batch_size={self.max_batch_size})"
+        )

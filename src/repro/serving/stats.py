@@ -1,0 +1,87 @@
+"""Per-model request counters exposed by :class:`repro.serving.EncodingService`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelStats"]
+
+
+@dataclass
+class ModelStats:
+    """Latency/throughput counters of one served model.
+
+    Attributes
+    ----------
+    n_requests : int
+        Total ``encode`` calls (including cache hits).
+    n_cache_hits : int
+        Requests answered from the feature cache.
+    n_samples : int
+        Total rows encoded (cache hits included; a hit still serves rows).
+    n_encoded_samples : int
+        Rows that actually went through the model (cache misses only).
+    n_batches : int
+        Micro-batches executed by the model.
+    total_seconds : float
+        Wall-clock time spent inside ``encode`` (hits and misses).
+    last_latency_seconds : float
+        Duration of the most recent request.
+    """
+
+    n_requests: int = 0
+    n_cache_hits: int = 0
+    n_samples: int = 0
+    n_encoded_samples: int = 0
+    n_batches: int = 0
+    total_seconds: float = 0.0
+    last_latency_seconds: float = 0.0
+
+    def record(
+        self,
+        *,
+        n_samples: int,
+        seconds: float,
+        cache_hit: bool,
+        n_batches: int = 0,
+    ) -> None:
+        """Account one ``encode`` request."""
+        self.n_requests += 1
+        self.n_samples += int(n_samples)
+        self.total_seconds += float(seconds)
+        self.last_latency_seconds = float(seconds)
+        if cache_hit:
+            self.n_cache_hits += 1
+        else:
+            self.n_encoded_samples += int(n_samples)
+            self.n_batches += int(n_batches)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the cache (0 when idle)."""
+        return self.n_cache_hits / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Average wall-clock seconds per request (0 when idle)."""
+        return self.total_seconds / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def throughput_samples_per_second(self) -> float:
+        """Rows served per second of encode time (0 when idle)."""
+        return self.n_samples / self.total_seconds if self.total_seconds else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flat dictionary for reports, logs and the CLI."""
+        return {
+            "n_requests": self.n_requests,
+            "n_cache_hits": self.n_cache_hits,
+            "n_samples": self.n_samples,
+            "n_encoded_samples": self.n_encoded_samples,
+            "n_batches": self.n_batches,
+            "total_seconds": self.total_seconds,
+            "last_latency_seconds": self.last_latency_seconds,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "throughput_samples_per_second": self.throughput_samples_per_second,
+        }

@@ -1,0 +1,236 @@
+"""Round-trip, corruption and schema-version tests for the artifact store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.datasets.synthetic import (
+    make_high_dimensional_mixture,
+    make_overlapping_binary_clusters,
+)
+from repro.exceptions import (
+    ArtifactCorruptedError,
+    PersistenceError,
+    SchemaVersionError,
+    ValidationError,
+)
+from repro.persistence import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    load_framework,
+    load_model,
+    load_supervision,
+    read_manifest,
+    save_framework,
+    save_model,
+    save_supervision,
+)
+from repro.rbm import BernoulliRBM, GaussianRBM
+from repro.supervision.local_supervision import LocalSupervision
+
+ALL_MODELS = ("rbm", "sls_rbm", "grbm", "sls_grbm")
+
+
+def _dataset_for(model: str) -> np.ndarray:
+    if model in ("rbm", "sls_rbm"):
+        data, _ = make_overlapping_binary_clusters(
+            70, 10, 3, flip_probability=0.1, random_state=0
+        )
+    else:
+        data, _ = make_high_dimensional_mixture(
+            70, 16, 3, n_informative=8, random_state=0
+        )
+    return data
+
+
+def _fitted_framework(model: str) -> tuple[SelfLearningEncodingFramework, np.ndarray]:
+    preprocessing = "median_binarize" if model in ("rbm", "sls_rbm") else "standardize"
+    config = FrameworkConfig(
+        model=model,
+        preprocessing=preprocessing,
+        supervision_preprocessing="standardize",
+        n_hidden=6,
+        n_epochs=3,
+        batch_size=16,
+        random_state=0,
+    )
+    data = _dataset_for(model)
+    framework = SelfLearningEncodingFramework(config, n_clusters=3)
+    framework.fit(data)
+    return framework, data
+
+
+class TestFrameworkRoundTrip:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_transform_is_bitwise_identical(self, model, tmp_path):
+        framework, data = _fitted_framework(model)
+        bundle = save_framework(framework, tmp_path / "bundle")
+        restored = load_framework(bundle)
+        assert np.array_equal(framework.transform(data), restored.transform(data))
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_config_round_trip(self, model, tmp_path):
+        framework, _ = _fitted_framework(model)
+        restored = load_framework(save_framework(framework, tmp_path / "bundle"))
+        assert restored.config == framework.config
+        assert restored.n_clusters == framework.n_clusters
+        assert restored.is_fitted
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_history_round_trip(self, model, tmp_path):
+        framework, _ = _fitted_framework(model)
+        restored = load_framework(save_framework(framework, tmp_path / "bundle"))
+        assert (
+            restored.model_.training_history_ == framework.model_.training_history_
+        )
+
+    @pytest.mark.parametrize("model", ("sls_rbm", "sls_grbm"))
+    def test_supervision_round_trip(self, model, tmp_path):
+        framework, _ = _fitted_framework(model)
+        assert framework.supervision_ is not None
+        restored = load_framework(save_framework(framework, tmp_path / "bundle"))
+        assert restored.supervision_ is not None
+        assert np.array_equal(restored.supervision_.labels, framework.supervision_.labels)
+        assert restored.supervision_.metadata == framework.supervision_.metadata
+        model_ = restored.model_
+        assert model_.has_supervision
+        assert np.array_equal(
+            model_._supervision_visible, framework.model_._supervision_visible
+        )
+        for cid, members in framework.model_._supervision_index_sets.items():
+            assert np.array_equal(model_._supervision_index_sets[cid], members)
+
+    @pytest.mark.parametrize("model", ("sls_rbm", "sls_grbm"))
+    def test_loaded_sls_model_can_continue_training(self, model, tmp_path):
+        framework, data = _fitted_framework(model)
+        restored = load_framework(save_framework(framework, tmp_path / "bundle"))
+        error = restored.model_.partial_fit(restored.preprocess(data))
+        assert np.isfinite(error)
+
+    def test_unfitted_framework_rejected(self, tmp_path):
+        framework = SelfLearningEncodingFramework(FrameworkConfig(), n_clusters=3)
+        with pytest.raises(Exception):
+            save_framework(framework, tmp_path / "bundle")
+
+
+class TestModelRoundTrip:
+    def test_bernoulli_round_trip(self, binary_dataset, tmp_path):
+        data, _ = binary_dataset
+        model = BernoulliRBM(8, n_epochs=3, random_state=0).fit(data)
+        restored = load_model(save_model(model, tmp_path / "model"))
+        assert isinstance(restored, BernoulliRBM)
+        assert np.array_equal(model.transform(data), restored.transform(data))
+        assert np.array_equal(model.reconstruct(data), restored.reconstruct(data))
+        assert restored.training_history_ == model.training_history_
+        assert restored.get_config() == model.get_config()
+
+    def test_gaussian_round_trip(self, blobs_dataset, tmp_path):
+        data, _ = blobs_dataset
+        model = GaussianRBM(8, n_epochs=3, random_state=0).fit(data)
+        restored = load_model(save_model(model, tmp_path / "model"))
+        assert np.array_equal(model.transform(data), restored.transform(data))
+
+    def test_momentum_velocities_round_trip(self, binary_dataset, tmp_path):
+        data, _ = binary_dataset
+        model = BernoulliRBM(4, n_epochs=2, momentum=0.5, random_state=0).fit(data)
+        restored = load_model(save_model(model, tmp_path / "model"))
+        assert np.array_equal(model._velocity_weights, restored._velocity_weights)
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            save_model(BernoulliRBM(4), tmp_path / "model")
+
+    def test_set_params_shape_mismatch(self, binary_dataset):
+        data, _ = binary_dataset
+        model = BernoulliRBM(8, n_epochs=2, random_state=0).fit(data)
+        params = model.get_params()
+        other = BernoulliRBM(5)
+        with pytest.raises(ValidationError):
+            other.set_params(params)
+
+
+class TestSupervisionRoundTrip:
+    def test_round_trip(self, simple_supervision, tmp_path):
+        bundle = save_supervision(simple_supervision, tmp_path / "sup")
+        restored = load_supervision(bundle)
+        assert np.array_equal(restored.labels, simple_supervision.labels)
+        assert restored.n_samples == simple_supervision.n_samples
+        assert restored.metadata == simple_supervision.metadata
+
+    def test_rejects_non_supervision(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_supervision("not a supervision", tmp_path / "sup")
+
+
+class TestCorruptionAndVersioning:
+    @pytest.fixture
+    def bundle(self, tmp_path):
+        framework, _ = _fitted_framework("sls_rbm")
+        return save_framework(framework, tmp_path / "bundle")
+
+    def test_corrupted_arrays_detected(self, bundle):
+        arrays_path = bundle / ARRAYS_NAME
+        payload = bytearray(arrays_path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        arrays_path.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactCorruptedError):
+            load_framework(bundle)
+
+    def test_missing_arrays_detected(self, bundle):
+        (bundle / ARRAYS_NAME).unlink()
+        with pytest.raises(ArtifactCorruptedError):
+            load_framework(bundle)
+
+    def test_schema_version_mismatch(self, bundle):
+        manifest_path = bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaVersionError):
+            load_framework(bundle)
+
+    def test_undecodable_manifest(self, bundle):
+        (bundle / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ArtifactCorruptedError):
+            read_manifest(bundle)
+
+    def test_foreign_manifest_rejected(self, bundle):
+        (bundle / MANIFEST_NAME).write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ArtifactCorruptedError):
+            read_manifest(bundle)
+
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_framework(tmp_path / "nowhere")
+
+    def test_kind_mismatch(self, bundle, binary_dataset, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_model(bundle)
+        data, _ = binary_dataset
+        model_bundle = save_model(
+            BernoulliRBM(4, n_epochs=2, random_state=0).fit(data), tmp_path / "model"
+        )
+        with pytest.raises(PersistenceError):
+            load_framework(model_bundle)
+        with pytest.raises(PersistenceError):
+            load_supervision(model_bundle)
+
+
+class TestFrameworkConfigDict:
+    def test_round_trip(self):
+        config = FrameworkConfig(
+            model="sls_grbm",
+            clusterers=("kmeans", "ap"),
+            extra={"supervision_learning_rate": 1e-2},
+        )
+        assert FrameworkConfig.from_dict(config.as_dict()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            FrameworkConfig.from_dict({"model": "rbm", "bogus": 1})

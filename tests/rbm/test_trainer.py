@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.rbm import BernoulliRBM, SlsRBM
 from repro.rbm.trainer import RBMTrainer, TrainingHistory
 from repro.supervision.local_supervision import LocalSupervision
@@ -16,9 +16,25 @@ class TestTrainingHistory:
         history = TrainingHistory(reconstruction_errors=[0.5, 0.4, 0.3])
         assert history.final_reconstruction_error == 0.3
 
-    def test_final_error_empty_raises(self):
-        with pytest.raises(ValueError):
+    def test_final_error_empty_raises_not_fitted(self):
+        with pytest.raises(NotFittedError):
             TrainingHistory().final_reconstruction_error
+
+    def test_dict_round_trip(self):
+        history = TrainingHistory(
+            reconstruction_errors=[0.5, 0.4],
+            supervision_losses=[1.2],
+            n_epochs_run=2,
+            stopped_early=True,
+        )
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored == history
+
+    def test_from_dict_defaults(self):
+        history = TrainingHistory.from_dict({})
+        assert history.reconstruction_errors == []
+        assert history.n_epochs_run == 0
+        assert not history.stopped_early
 
 
 class TestRBMTrainer:

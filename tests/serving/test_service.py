@@ -1,0 +1,200 @@
+"""Tests for the EncodingService registry, cache, batching and counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.datasets.synthetic import make_overlapping_binary_clusters
+from repro.exceptions import ServingError, ValidationError
+from repro.persistence import save_framework
+from repro.serving import EncodingService, LRUFeatureCache, input_digest
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data, _ = make_overlapping_binary_clusters(
+        60, 8, 3, flip_probability=0.1, random_state=0
+    )
+    config = FrameworkConfig(
+        model="sls_rbm",
+        preprocessing="median_binarize",
+        supervision_preprocessing="standardize",
+        n_hidden=5,
+        n_epochs=2,
+        random_state=0,
+    )
+    framework = SelfLearningEncodingFramework(config, n_clusters=3)
+    framework.fit(data)
+    return framework, data
+
+
+class TestRegistry:
+    def test_register_and_encode(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        assert "ir" in service
+        assert service.model_names == ["ir"]
+        features = service.encode("ir", data)
+        assert np.array_equal(features, framework.transform(data))
+
+    def test_unknown_name(self, fitted):
+        service = EncodingService()
+        with pytest.raises(ServingError):
+            service.encode("missing", np.zeros((2, 2)))
+
+    def test_unfitted_rejected(self):
+        framework = SelfLearningEncodingFramework(FrameworkConfig(), n_clusters=3)
+        with pytest.raises(ServingError):
+            EncodingService().register("x", framework)
+
+    def test_load_from_artifact(self, fitted, tmp_path):
+        framework, data = fitted
+        bundle = save_framework(framework, tmp_path / "bundle")
+        service = EncodingService()
+        service.load("ir", bundle)
+        assert np.array_equal(service.encode("ir", data), framework.transform(data))
+
+    def test_unregister(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        service.encode("ir", data)
+        service.unregister("ir")
+        assert len(service) == 0
+        assert service.cache_info["entries"] == 0
+        with pytest.raises(ServingError):
+            service.unregister("ir")
+
+
+class TestMicroBatching:
+    def test_batched_encode_matches_transform(self, fitted):
+        framework, data = fitted
+        service = EncodingService(max_batch_size=7, cache_entries=0)
+        service.register("ir", framework)
+        features = service.encode("ir", data)
+        assert np.array_equal(features, framework.transform(data))
+        assert service.stats("ir")["n_batches"] == int(np.ceil(data.shape[0] / 7))
+
+    def test_single_batch_for_small_input(self, fitted):
+        framework, data = fitted
+        service = EncodingService(max_batch_size=10_000)
+        service.register("ir", framework)
+        service.encode("ir", data)
+        assert service.stats("ir")["n_batches"] == 1
+
+
+class TestCache:
+    def test_second_request_hits_cache(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        first = service.encode("ir", data)
+        second = service.encode("ir", data)
+        assert np.array_equal(first, second)
+        stats = service.stats("ir")
+        assert stats["n_requests"] == 2
+        assert stats["n_cache_hits"] == 1
+        assert stats["cache_hit_rate"] == 0.5
+        # a cache miss hands back a private, writable array...
+        assert first.flags.writeable
+        first[0, 0] += 1.0  # ...and mutating it must not poison later hits
+        assert not second.flags.writeable
+        assert np.array_equal(service.encode("ir", data), framework.transform(data))
+
+    def test_use_cache_false_bypasses(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        service.encode("ir", data)
+        service.encode("ir", data, use_cache=False)
+        assert service.stats("ir")["n_cache_hits"] == 0
+
+    def test_different_input_misses(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        service.encode("ir", data)
+        service.encode("ir", data[:30])
+        assert service.stats("ir")["n_cache_hits"] == 0
+        assert service.cache_info["entries"] == 2
+
+    def test_cache_disabled(self, fitted):
+        framework, data = fitted
+        service = EncodingService(cache_entries=0)
+        service.register("ir", framework)
+        service.encode("ir", data)
+        service.encode("ir", data)
+        assert service.stats("ir")["n_cache_hits"] == 0
+        assert service.cache_info == {
+            "entries": 0, "max_entries": 0, "hits": 0, "misses": 0,
+        }
+
+    def test_reregistering_invalidates_cache(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        service.encode("ir", data)
+        service.register("ir", framework)
+        service.encode("ir", data)
+        assert service.stats("ir")["n_cache_hits"] == 0
+
+
+class TestLRUFeatureCache:
+    def test_eviction_order(self):
+        cache = LRUFeatureCache(max_entries=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.ones(1))
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", np.full(1, 2.0))
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            LRUFeatureCache(max_entries=0)
+
+    def test_evict_by_predicate(self):
+        cache = LRUFeatureCache(max_entries=4)
+        cache.put(("a", 1), np.zeros(1))
+        cache.put(("a", 2), np.zeros(1))
+        cache.put(("b", 1), np.zeros(1))
+        assert cache.evict(lambda key: key[0] == "a") == 2
+        assert len(cache) == 1 and ("b", 1) in cache
+
+    def test_digest_sensitivity(self):
+        data = np.arange(6, dtype=float).reshape(2, 3)
+        assert input_digest(data) == input_digest(data.copy())
+        assert input_digest(data) != input_digest(data.reshape(3, 2))
+        assert input_digest(data) != input_digest(data.astype(np.float32))
+        bumped = data.copy()
+        bumped[0, 0] += 1e-12
+        assert input_digest(data) != input_digest(bumped)
+
+
+class TestStats:
+    def test_latency_accounting_with_injected_clock(self, fitted):
+        framework, data = fitted
+        ticks = iter(np.arange(0.0, 100.0, 0.5))
+        service = EncodingService(clock=lambda: float(next(ticks)))
+        service.register("ir", framework)
+        service.encode("ir", data)
+        stats = service.stats("ir")
+        assert stats["last_latency_seconds"] == 0.5
+        assert stats["total_seconds"] == 0.5
+        assert stats["mean_latency_seconds"] == 0.5
+        assert stats["throughput_samples_per_second"] == data.shape[0] / 0.5
+        assert stats["n_samples"] == data.shape[0]
+        assert stats["n_encoded_samples"] == data.shape[0]
+
+    def test_all_models_view(self, fitted):
+        framework, data = fitted
+        service = EncodingService()
+        service.register("a", framework).register("b", framework)
+        service.encode("a", data)
+        stats = service.stats()
+        assert set(stats) == {"a", "b"}
+        assert stats["a"]["n_requests"] == 1
+        assert stats["b"]["n_requests"] == 0

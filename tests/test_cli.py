@@ -1,0 +1,115 @@
+"""End-to-end tests for the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_uci_dataset
+from repro.persistence import load_framework
+
+TRAIN_ARGS = [
+    "train",
+    "--suite", "uci",
+    "--dataset", "IR",
+    "--scale", "0.5",
+    "--model", "sls_rbm",
+    "--n-hidden", "6",
+    "--epochs", "2",
+    "--out",
+]
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    bundle = tmp_path / "artifact"
+    assert main(TRAIN_ARGS + [str(bundle)]) == 0
+    return bundle
+
+
+class TestTrain:
+    def test_creates_loadable_bundle(self, artifact, capsys):
+        framework = load_framework(artifact)
+        assert framework.config.model == "sls_rbm"
+        assert framework.is_fitted
+
+    def test_output_summary(self, tmp_path, capsys):
+        main(TRAIN_ARGS + [str(tmp_path / "b")])
+        out = capsys.readouterr().out
+        assert "trained sls_rbm on uci:IR" in out
+        assert "final reconstruction error" in out
+        assert "artifact written to" in out
+
+
+class TestEncode:
+    def test_dataset_end_to_end(self, artifact, tmp_path, capsys):
+        out_file = tmp_path / "features.npy"
+        code = main([
+            "encode", "--artifact", str(artifact),
+            "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        features = np.load(out_file)
+        dataset = load_uci_dataset("IR", scale=0.5)
+        expected = load_framework(artifact).transform(dataset.data)
+        assert np.array_equal(features, expected)
+
+    def test_input_file(self, artifact, tmp_path):
+        dataset = load_uci_dataset("IR", scale=0.5)
+        in_file = tmp_path / "input.npy"
+        np.save(in_file, dataset.data)
+        out_file = tmp_path / "features.csv"
+        code = main([
+            "encode", "--artifact", str(artifact),
+            "--input", str(in_file), "--output", str(out_file),
+        ])
+        assert code == 0
+        features = np.loadtxt(out_file, delimiter=",")
+        expected = load_framework(artifact).transform(dataset.data)
+        assert np.allclose(features, expected)
+
+    def test_input_and_dataset_is_an_error(self, artifact, tmp_path, capsys):
+        code = main([
+            "encode", "--artifact", str(artifact),
+            "--input", str(tmp_path / "x.npy"), "--dataset", "IR",
+        ])
+        assert code == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_missing_artifact_is_an_error(self, tmp_path, capsys):
+        code = main([
+            "encode", "--artifact", str(tmp_path / "nope"),
+            "--suite", "uci", "--dataset", "IR",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_prints_all_metrics(self, artifact, capsys):
+        code = main([
+            "evaluate", "--artifact", str(artifact),
+            "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for metric in ("accuracy", "purity", "rand", "fmi", "nmi"):
+            assert metric in out
+
+
+class TestInfo:
+    def test_summary(self, artifact, capsys):
+        assert main(["info", "--artifact", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "kind:           framework" in out
+        assert "SlsRBM" in out
+
+    def test_json(self, artifact, capsys):
+        import json
+
+        assert main(["info", "--artifact", str(artifact), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["kind"] == "framework"
+        assert manifest["schema_version"] == 1
