@@ -9,8 +9,12 @@ Four subcommands cover the train/serve lifecycle introduced by
 * ``encode``   — load an artifact and encode a dataset or a feature file,
   writing the hidden features to disk;
 * ``evaluate`` — load an artifact, encode a labelled dataset, cluster the
-  features and print every external metric;
-* ``info``     — inspect an artifact bundle's manifest.
+  features and print every external metric; or, with ``--grid``, run a full
+  dataset x algorithm experiment grid through :class:`ExperimentRunner`
+  (optionally fanned out over ``--n-jobs`` worker processes);
+* ``info``     — inspect an artifact bundle's manifest;
+* ``bench``    — run the tracked performance benchmarks and write
+  ``BENCH_training.json``.
 
 Examples
 --------
@@ -21,7 +25,10 @@ Examples
     python -m repro encode --artifact artifacts/ir --suite uci --dataset IR \
         --output features.npy
     python -m repro evaluate --artifact artifacts/ir --suite uci --dataset IR
+    python -m repro evaluate --grid --suite uci --dataset IR,BCW \
+        --algorithms "DP,K-means,K-means+slsRBM" --repeats 3 --n-jobs 4
     python -m repro info --artifact artifacts/ir
+    python -m repro bench --smoke --out BENCH_training.json
 """
 
 from __future__ import annotations
@@ -122,6 +129,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         supervision_preprocessing="standardize"
         if preprocessing == "median_binarize"
         else None,
+        dtype=args.dtype,
         random_state=args.seed,
     )
     framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
@@ -168,6 +176,10 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.grid:
+        return _cmd_evaluate_grid(args)
+    if args.artifact is None:
+        raise ValidationError("evaluate needs --artifact (or --grid for a grid run)")
     from repro.clustering.registry import make_clusterer
     from repro.metrics.report import evaluate_clustering
     from repro.persistence import load_framework
@@ -185,6 +197,72 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
           f"{args.suite}:{dataset.abbreviation}")
     for metric, value in report.as_dict().items():
         print(f"  {metric:<14} {value:.4f}")
+    return 0
+
+
+def _cmd_evaluate_grid(args: argparse.Namespace) -> int:
+    """Run a dataset x algorithm grid with the (optionally parallel) runner."""
+    from repro.datasets import load_msra_mm_dataset, load_uci_dataset
+    from repro.datasets.base import DatasetSuite
+    from repro.experiments.grids import (
+        DATASETS_I_ALGORITHMS,
+        DATASETS_II_ALGORITHMS,
+    )
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import ExperimentRunner
+
+    loader = load_uci_dataset if args.suite == "uci" else load_msra_mm_dataset
+    abbreviations = [item.strip() for item in args.dataset.split(",") if item.strip()]
+    if not abbreviations:
+        raise ValidationError("--dataset must name at least one dataset")
+    datasets = [
+        loader(abbr, scale=args.scale, random_state=args.data_seed)
+        for abbr in abbreviations
+    ]
+    suite = DatasetSuite(f"{args.suite}-grid", datasets)
+
+    if args.algorithms:
+        algorithms = tuple(
+            item.strip() for item in args.algorithms.split(",") if item.strip()
+        )
+    else:
+        algorithms = (
+            DATASETS_II_ALGORITHMS if args.suite == "uci" else DATASETS_I_ALGORITHMS
+        )
+
+    runner = ExperimentRunner(
+        algorithms,
+        n_repeats=args.repeats,
+        n_hidden=args.n_hidden,
+        n_epochs=args.epochs,
+        batch_size=args.batch_size,
+        random_state=args.seed,
+        n_jobs=args.n_jobs,
+    )
+    table = runner.run_suite(suite)
+    print(format_table(table, args.metric, title=f"{suite.name}: {args.metric}"))
+    print(
+        f"cells: {len(datasets)} datasets x {len(algorithms)} algorithms x "
+        f"{args.repeats} repeats, n_jobs={args.n_jobs}, "
+        f"supervision cache hits: {runner.n_supervision_hits}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        format_summary,
+        run_training_benchmarks,
+        write_benchmark_report,
+    )
+
+    payload = run_training_benchmarks(smoke=args.smoke, n_jobs=args.n_jobs)
+    out = write_benchmark_report(payload, args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_summary(payload))
+    print(f"benchmark report written to {out}")
     return 0
 
 
@@ -247,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="'auto' picks the paper's preprocessing for the model",
     )
+    train.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="model compute/storage precision (float32 halves memory traffic)",
+    )
     train.add_argument("--seed", type=int, default=0, help="training seed")
     train.add_argument("--out", required=True, help="artifact bundle directory")
     train.set_defaults(func=_cmd_train)
@@ -265,12 +349,33 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser(
         "evaluate", help="cluster the encoded features and print every metric"
     )
-    evaluate.add_argument("--artifact", required=True)
+    evaluate.add_argument("--artifact",
+                          help="artifact bundle (single-artifact mode)")
     _add_dataset_arguments(evaluate, required=True)
     evaluate.add_argument("--clusterer", default="kmeans",
                           help="downstream clusterer (default: kmeans)")
     evaluate.add_argument("--seed", type=int, default=0,
-                          help="downstream clusterer seed")
+                          help="downstream clusterer / grid base seed")
+    grid = evaluate.add_argument_group("grid mode")
+    grid.add_argument("--grid", action="store_true",
+                      help="run a dataset x algorithm experiment grid instead "
+                           "of a single artifact; --dataset accepts a "
+                           "comma-separated list")
+    grid.add_argument("--algorithms",
+                      help="comma-separated algorithm cells (default: the "
+                           "full paper grid of the suite)")
+    grid.add_argument("--repeats", type=int, default=1,
+                      help="repeats per stochastic cell (default: 1)")
+    grid.add_argument("--n-jobs", type=int, default=1,
+                      help="worker processes for the grid cells; results are "
+                           "bit-identical to --n-jobs 1 (default: 1)")
+    grid.add_argument("--n-hidden", type=int, default=64)
+    grid.add_argument("--epochs", type=int, default=30)
+    grid.add_argument("--batch-size", type=int, default=64)
+    grid.add_argument("--metric", default="accuracy",
+                      choices=("accuracy", "purity", "rand", "adjusted_rand",
+                               "fmi", "nmi"),
+                      help="metric printed for the grid table")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     info = subparsers.add_parser("info", help="print an artifact's manifest summary")
@@ -278,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", action="store_true",
                       help="dump the raw manifest as JSON")
     info.set_defaults(func=_cmd_info)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the tracked perf benchmarks, write BENCH_training.json"
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="small sizes so every section finishes in seconds")
+    bench.add_argument("--out", default="BENCH_training.json",
+                       help="output JSON path (default: BENCH_training.json)")
+    bench.add_argument("--n-jobs", type=int, default=4,
+                       help="worker processes for the runner-scaling section")
+    bench.add_argument("--json", action="store_true",
+                       help="also dump the full payload as JSON to stdout")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -3,6 +3,16 @@
 Cluster centres are points with high local density that lie far from any
 point of higher density.  The remaining points are assigned to the same
 cluster as their nearest neighbour of higher density.
+
+The implementation keeps one ``n x n`` array alive — the squared-distance
+workspace that the exact ``d_c`` percentile inherently needs — and builds it
+chunk by chunk; rho, delta and the label assignment are chunked/vectorised
+sweeps over it using ``chunk_size * n`` scratch (plus one transient
+flattened copy inside the ``d_c`` partition).  The original implementation
+materialised an ``n x n`` eye mask plus an off-diagonal copy (for ``d_c``),
+a fully reordered distance matrix, a triangular mask and a masked copy (for
+delta), roughly quadrupling peak memory and dominating the runtime with
+fancy-indexing copies.
 """
 
 from __future__ import annotations
@@ -11,7 +21,6 @@ import numpy as np
 
 from repro.clustering.base import BaseClusterer
 from repro.exceptions import ValidationError
-from repro.utils.numerics import pairwise_squared_distances
 from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = ["DensityPeaks"]
@@ -33,6 +42,9 @@ class DensityPeaks(BaseClusterer):
     kernel : {"gaussian", "cutoff"}, default "gaussian"
         Local density estimator: a smooth Gaussian kernel or the original
         hard-cutoff count.
+    chunk_size : int, default 512
+        Rows per block of the chunked sweeps; bounds every temporary to
+        roughly ``chunk_size * n_samples`` elements.
 
     Attributes
     ----------
@@ -51,6 +63,7 @@ class DensityPeaks(BaseClusterer):
         *,
         dc_percentile: float = 2.0,
         kernel: str = "gaussian",
+        chunk_size: int = 512,
     ) -> None:
         if n_clusters is not None:
             n_clusters = check_positive_int(n_clusters, name="n_clusters")
@@ -63,6 +76,7 @@ class DensityPeaks(BaseClusterer):
                 f"kernel must be 'gaussian' or 'cutoff', got {kernel!r}"
             )
         self.kernel = kernel
+        self.chunk_size = check_positive_int(chunk_size, name="chunk_size")
 
     @property
     def name(self) -> str:
@@ -74,10 +88,15 @@ class DensityPeaks(BaseClusterer):
             raise ValidationError(
                 f"n_clusters={self.n_clusters} exceeds n_samples={n_samples}"
             )
-        distances = np.sqrt(pairwise_squared_distances(data))
 
-        rho = self._local_density(distances)
-        delta, nearest_higher = self._delta(distances, rho)
+        squared = self._squared_distance_workspace(data)
+        # One chunk-sized scratch buffer, reused by the rho kernel blocks and
+        # the delta masking blocks.
+        chunk = max(1, min(self.chunk_size, n_samples))
+        scratch = np.empty(chunk * n_samples, dtype=float)
+        rho = self._local_density(squared, scratch)
+        delta, nearest_higher = self._delta(squared, rho, scratch)
+        del scratch
 
         self.rho_ = rho
         self.delta_ = delta
@@ -90,56 +109,164 @@ class DensityPeaks(BaseClusterer):
         center_indices = np.argsort(decision)[::-1][:n_centers]
         self.center_indices_ = np.sort(center_indices)
 
-        labels = np.full(n_samples, -1, dtype=int)
-        for cluster_id, center in enumerate(self.center_indices_):
-            labels[center] = cluster_id
+        self.labels_ = self._assign_labels(
+            n_samples, self.center_indices_, nearest_higher
+        )
 
-        # Assign remaining points in order of decreasing density to the
-        # cluster of their nearest higher-density neighbour.
-        order = np.argsort(rho)[::-1]
-        for idx in order:
-            if labels[idx] == -1:
-                labels[idx] = labels[nearest_higher[idx]]
-        self.labels_ = labels
+    # ------------------------------------------------------------- distances
+    def _row_chunks(self, n_samples: int):
+        chunk = max(1, min(self.chunk_size, n_samples))
+        for start in range(0, n_samples, chunk):
+            yield start, min(start + chunk, n_samples)
 
-    def _local_density(self, distances: np.ndarray) -> np.ndarray:
-        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
-        dc = float(np.percentile(off_diagonal, self.dc_percentile))
+    def _squared_distance_workspace(self, data: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distance workspace, built chunk by chunk.
+
+        The full matrix (and nothing else of that size) is kept because the
+        exact ``d_c`` percentile consumes the whole pairwise distance
+        distribution; all further passes stream over its rows.  Distances
+        stay *squared* end to end — rho's Gaussian kernel and delta's argmin
+        never need the root, so the only square roots taken are the ``d_c``
+        bracketing values and the final n-vector of deltas.
+        """
+        n_samples = data.shape[0]
+        squared_norms = np.einsum("ij,ij->i", data, data)
+        # x.x + y.y - 2 x.y leaves O(ulp * |x|^2) residue on coincident rows;
+        # snap it (and the tiny negatives np.maximum used to clip) to an
+        # exact zero so duplicates behave as duplicates — the d_c
+        # percentile/fallback and the delta minima rely on true zeros being
+        # zero.
+        noise_floor = 1e-12 * float(squared_norms.max(initial=0.0))
+        squared = np.empty((n_samples, n_samples), dtype=float)
+        for start, stop in self._row_chunks(n_samples):
+            block = squared[start:stop]
+            np.matmul(data[start:stop], data.T, out=block)
+            block *= -2.0
+            block += squared_norms[start:stop, None]
+            block += squared_norms[None, :]
+            block[block <= noise_floor] = 0.0
+        np.fill_diagonal(squared, 0.0)
+        return squared
+
+    def _cutoff_distance(self, squared: np.ndarray) -> float:
+        """Exact off-diagonal ``dc_percentile`` from the squared workspace.
+
+        Equals ``np.percentile`` of the off-diagonal *root* distances without
+        materialising either the off-diagonal copy or a rooted matrix: the
+        ``n`` diagonal zeros are the smallest entries, so the percentile rank
+        is shifted past them, and the two bracketing order statistics (order
+        is preserved under sqrt) are rooted before the linear interpolation.
+        """
+        n = squared.shape[0]
+        n_off = n * n - n
+        position = n + self.dc_percentile / 100.0 * (n_off - 1)
+        k = int(np.floor(position))
+        fraction = position - k
+        k_next = min(k + 1, n * n - 1)
+        bracket = np.partition(squared, (k, k_next), axis=None)
+        low = float(np.sqrt(bracket[k]))
+        high = float(np.sqrt(bracket[k_next]))
+        dc = low + fraction * (high - low)
         if dc <= 0.0:
-            dc = float(off_diagonal[off_diagonal > 0].min(initial=1.0))
+            positive = squared[squared > 0.0]
+            dc = float(np.sqrt(positive.min())) if positive.size else 1.0
+        return dc
+
+    def _local_density(self, squared: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+        """Rho per sample (chunked kernel sums; diagonal contribution removed)."""
+        n_samples = squared.shape[0]
+        if n_samples == 1:
+            self.dc_ = 1.0
+            return np.zeros(1)
+        dc = self._cutoff_distance(squared)
         self.dc_ = dc
-        if self.kernel == "gaussian":
-            rho = np.exp(-((distances / dc) ** 2)).sum(axis=1) - 1.0
-        else:
-            rho = (distances < dc).sum(axis=1).astype(float) - 1.0
+
+        rho = np.empty(n_samples, dtype=float)
+        chunk = max(1, min(self.chunk_size, n_samples))
+        blocks = scratch[: chunk * n_samples].reshape(chunk, n_samples)
+        for start, stop in self._row_chunks(n_samples):
+            block = squared[start:stop]
+            rows = stop - start
+            if self.kernel == "gaussian":
+                # exp(-(d / dc)^2) evaluated as exp(-d^2 / dc^2).
+                kernel = np.multiply(block, -1.0 / (dc * dc), out=blocks[:rows])
+                np.exp(kernel, out=kernel)
+                # The diagonal contributes exp(0) = 1.
+                rho[start:stop] = kernel.sum(axis=1) - 1.0
+            else:
+                rho[start:stop] = (block < dc * dc).sum(axis=1) - 1.0
         return rho
 
-    @staticmethod
     def _delta(
-        distances: np.ndarray, rho: np.ndarray
+        self, squared: np.ndarray, rho: np.ndarray, scratch: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        n_samples = distances.shape[0]
-        order = np.argsort(rho)[::-1]
-        # Reorder so that row/column i is the sample with the i-th highest
-        # density; then the "higher density" candidates of row i are exactly
-        # the columns j < i, and the whole search vectorises with a mask.
-        ordered = distances[np.ix_(order, order)]
-        mask = np.triu(np.ones((n_samples, n_samples), dtype=bool))
-        masked = np.where(mask, np.inf, ordered)
+        """Distance to (and index of) the nearest higher-density sample.
 
-        delta_sorted = np.empty(n_samples, dtype=float)
-        nearest_sorted = np.empty(n_samples, dtype=int)
-        if n_samples > 1:
-            delta_sorted[1:] = masked[1:].min(axis=1)
-            nearest_sorted[1:] = masked[1:].argmin(axis=1)
-        delta_sorted[0] = distances.max()
-        nearest_sorted[0] = 0
+        "Higher density" uses the descending-rho argsort position as a total
+        order, so exact density ties break deterministically.  Each chunk
+        gathers its rows with the *columns permuted into density order*: the
+        candidates of row i are then exactly the first ``rank[i]`` columns
+        (one contiguous inf-fill masks the rest — no boolean mask), and
+        argmin's first-occurrence rule resolves equidistant candidates to
+        the densest one, the same tie-break as the original scan of the
+        fully reordered matrix.
+        """
+        n_samples = rho.shape[0]
+        order = np.argsort(rho)[::-1]
+        rank = np.empty(n_samples, dtype=int)
+        rank[order] = np.arange(n_samples)
 
         delta = np.empty(n_samples, dtype=float)
         nearest_higher = np.empty(n_samples, dtype=int)
-        delta[order] = delta_sorted
-        nearest_higher[order] = order[nearest_sorted]
+        if n_samples == 1:
+            delta[0] = 0.0
+            nearest_higher[0] = 0
+            return delta, nearest_higher
+
+        chunk = max(1, min(self.chunk_size, n_samples))
+        masked = scratch[: chunk * n_samples].reshape(chunk, n_samples)
+        local_rows = np.arange(chunk)
+        for start, stop in self._row_chunks(n_samples):
+            rows = stop - start
+            np.take(squared[start:stop], order, axis=1, out=masked[:rows])
+            for row in range(rows):
+                # Positions >= own rank are lower-or-equal density (own
+                # column included): one contiguous fill per row.
+                masked[row, rank[start + row] :] = np.inf
+            argmin_position = masked[:rows].argmin(axis=1)
+            delta[start:stop] = masked[local_rows[:rows], argmin_position]
+            nearest_higher[start:stop] = order[argmin_position]
+
+        top = order[0]
+        delta[top] = squared.max()
+        nearest_higher[top] = top
+        np.sqrt(delta, out=delta)
         return delta, nearest_higher
+
+    # ------------------------------------------------------------ assignment
+    @staticmethod
+    def _assign_labels(
+        n_samples: int, center_indices: np.ndarray, nearest_higher: np.ndarray
+    ) -> np.ndarray:
+        """Propagate centre labels along the nearest-higher-density forest.
+
+        Every non-centre points to a strictly higher-ranked sample and the
+        top-density sample points to itself, so the pointer graph is a forest
+        rooted at the centres (plus possibly the top sample).  Pointer
+        doubling resolves every root in O(log n) vectorised passes instead of
+        a Python loop over samples.
+        """
+        parent = nearest_higher.copy()
+        parent[center_indices] = center_indices
+        while True:
+            grandparent = parent[parent]
+            if np.array_equal(grandparent, parent):
+                break
+            parent = grandparent
+
+        labels = np.full(n_samples, -1, dtype=int)
+        labels[center_indices] = np.arange(center_indices.shape[0])
+        return labels[parent]
 
     @staticmethod
     def _auto_select_centers(decision: np.ndarray) -> int:

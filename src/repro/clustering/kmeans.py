@@ -119,22 +119,28 @@ class KMeans(BaseClusterer):
     def _single_run(
         self, data: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        n_samples = data.shape[0]
         centers = kmeans_plus_plus(data, self.n_clusters, rng)
-        labels = np.zeros(data.shape[0], dtype=int)
+        labels = np.zeros(n_samples, dtype=int)
+        one_hot = np.zeros((n_samples, self.n_clusters), dtype=data.dtype)
+        sample_rows = np.arange(n_samples)
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
             distances = pairwise_squared_distances(data, centers)
             labels = np.argmin(distances, axis=1)
-            new_centers = np.empty_like(centers)
-            for k in range(self.n_clusters):
-                members = data[labels == k]
-                if members.shape[0] == 0:
-                    # Re-seed an empty cluster at the point farthest from its
-                    # assigned centre to keep exactly K clusters alive.
-                    farthest = int(np.argmax(np.min(distances, axis=1)))
-                    new_centers[k] = data[farthest]
-                else:
-                    new_centers[k] = members.mean(axis=0)
+            # Per-cluster sums/means as one matmul against the assignment
+            # indicator instead of a Python loop over clusters.
+            one_hot[:] = 0.0
+            one_hot[sample_rows, labels] = 1.0
+            counts = np.bincount(labels, minlength=self.n_clusters)
+            sums = one_hot.T @ data
+            new_centers = sums / np.maximum(counts, 1)[:, None]
+            empty = counts == 0
+            if empty.any():
+                # Re-seed empty clusters at the point farthest from its
+                # assigned centre to keep exactly K clusters alive.
+                farthest = int(np.argmax(np.min(distances, axis=1)))
+                new_centers[empty] = data[farthest]
             shift = float(np.sqrt(((new_centers - centers) ** 2).sum()))
             centers = new_centers
             scale = float(np.sqrt((centers**2).sum())) + 1e-12

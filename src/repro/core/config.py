@@ -38,6 +38,10 @@ class FrameworkConfig:
         Training schedule.
     preprocessing : {"standardize", "minmax", "median_binarize", "none"}
         Applied to the data before RBM training.
+    dtype : {"float64", "float32"}
+        Compute/storage precision of the RBM (see
+        :class:`repro.rbm.base.BaseRBM`); float32 trades ~1e-7 relative
+        feature accuracy for roughly half the memory traffic.
     supervision_preprocessing : same choices or None
         Preprocessing applied to the data fed to the base clusterers that
         build the local supervision.  ``None`` reuses ``preprocessing``.  The
@@ -61,6 +65,7 @@ class FrameworkConfig:
     n_epochs: int = 30
     batch_size: int = 64
     cd_steps: int = 1
+    dtype: str = "float64"
     preprocessing: str = "standardize"
     supervision_preprocessing: str | None = None
     clusterers: tuple[str, ...] = ("dp", "kmeans", "ap")
@@ -73,6 +78,10 @@ class FrameworkConfig:
         if self.model not in _MODEL_KINDS:
             raise ValidationError(
                 f"model must be one of {_MODEL_KINDS}, got {self.model!r}"
+            )
+        if self.dtype not in ("float64", "float32"):
+            raise ValidationError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
             )
         if self.preprocessing not in _PREPROCESSING:
             raise ValidationError(
@@ -125,6 +134,7 @@ class FrameworkConfig:
             "n_epochs": self.n_epochs,
             "batch_size": self.batch_size,
             "cd_steps": self.cd_steps,
+            "dtype": self.dtype,
             "preprocessing": self.preprocessing,
             "supervision_preprocessing": self.supervision_preprocessing,
             "clusterers": list(self.clusterers),

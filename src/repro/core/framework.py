@@ -128,6 +128,7 @@ class SelfLearningEncodingFramework:
             n_epochs=config.n_epochs,
             batch_size=config.batch_size,
             cd_steps=config.cd_steps,
+            dtype=config.dtype,
             random_state=config.random_state,
         )
         # Supervision-specific extras (e.g. supervision_learning_rate) only

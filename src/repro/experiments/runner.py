@@ -8,6 +8,7 @@ optional repetitions to report the mean and variance of stochastic cells
 from __future__ import annotations
 
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -109,6 +110,133 @@ class ExperimentTable:
         return [self.cell(dataset, algorithm).value(metric) for dataset in self.dataset_order]
 
 
+def _artifact_path(
+    artifact_dir: Path, dataset: Dataset, algorithm: str, repeat: int
+) -> Path:
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "-", algorithm)
+    return artifact_dir / f"{dataset.abbreviation}__{safe}__r{repeat}"
+
+
+def _supervision_key(dataset: Dataset, framework) -> tuple:
+    config = framework.config
+    return (
+        dataset.abbreviation,
+        framework.n_clusters,
+        config.supervision_preprocessing or config.preprocessing,
+        config.clusterers,
+        config.voting,
+        config.min_agreement,
+        config.random_state,
+    )
+
+
+def _load_warm_framework(bundle: Path, expected, dataset: Dataset):
+    from repro.persistence import load_framework
+
+    if not bundle.is_dir():
+        return None
+    try:
+        loaded = load_framework(bundle)
+    except (PersistenceError, ValidationError, KeyError):
+        # A corrupted or undecodable bundle falls back to retraining (and
+        # is overwritten by the fresh fit below).
+        return None
+    # A bundle left over from a run with different hyper-parameters (the
+    # ablation hook changes eta/n_hidden/... without changing the cell
+    # name) or a differently-sized dataset must not be reused silently.
+    if (
+        loaded.config != expected.config
+        or loaded.n_clusters != expected.n_clusters
+        or loaded.model_.n_visible_ != dataset.n_features
+    ):
+        return None
+    return loaded
+
+
+@dataclass(frozen=True)
+class _RepeatOutcome:
+    """Result of one (dataset, algorithm, repeat) evaluation plus the cache
+    bookkeeping the parent runner merges on join."""
+
+    report: ClusteringReport
+    artifact_hit: bool
+    supervision_hit: bool
+    supervision_entry: tuple | None
+
+
+def _run_repeat(
+    dataset: Dataset,
+    algorithm: str,
+    repeat: int,
+    settings: dict,
+    supervision_cache: dict,
+) -> _RepeatOutcome:
+    """Evaluate one repeat of one cell.
+
+    Shared by the sequential path (called with the runner's live supervision
+    cache) and the process-pool path (called in a worker with a private
+    cache; the parent merges the returned entries/statistics).  Seeding is
+    identical in both: repeat ``r`` always uses ``random_state + r``.
+    """
+    from repro.persistence import save_framework
+
+    pipeline = build_algorithm(
+        algorithm,
+        dataset.n_classes,
+        n_hidden=settings["n_hidden"],
+        n_epochs=settings["n_epochs"],
+        batch_size=settings["batch_size"],
+        random_state=settings["random_state"] + repeat,
+        config_overrides=settings["config_overrides"] or None,
+    )
+    artifact_dir = settings["artifact_dir"]
+    warm = None
+    if pipeline.framework is not None and artifact_dir is not None:
+        bundle = _artifact_path(artifact_dir, dataset, algorithm, repeat)
+        warm = _load_warm_framework(bundle, pipeline.framework, dataset)
+        if warm is not None:
+            pipeline.framework = warm
+
+    supervision = None
+    supervision_hit = False
+    if (
+        warm is None
+        and pipeline.framework is not None
+        and pipeline.framework.config.uses_supervision
+    ):
+        key = _supervision_key(dataset, pipeline.framework)
+        supervision = supervision_cache.get(key)
+        supervision_hit = supervision is not None
+
+    report = pipeline.run(
+        dataset, supervision=supervision, reuse_fitted=warm is not None
+    ).report
+
+    supervision_entry = None
+    framework = pipeline.framework
+    if framework is not None and warm is None:
+        if framework.config.uses_supervision and framework.supervision_ is not None:
+            key = _supervision_key(dataset, framework)
+            supervision_cache.setdefault(key, framework.supervision_)
+            supervision_entry = (key, framework.supervision_)
+        if artifact_dir is not None:
+            save_framework(
+                framework, _artifact_path(artifact_dir, dataset, algorithm, repeat)
+            )
+    return _RepeatOutcome(
+        report=report,
+        artifact_hit=warm is not None,
+        supervision_hit=supervision_hit,
+        supervision_entry=supervision_entry,
+    )
+
+
+def _run_repeat_task(payload: tuple) -> _RepeatOutcome:
+    """Process-pool entry point: one repeat with a worker-local cache."""
+    dataset, algorithm, repeat, settings = payload
+    return _run_repeat(dataset, algorithm, repeat, settings, supervision_cache={})
+
+
 class ExperimentRunner:
     """Run an algorithm grid over a dataset suite.
 
@@ -131,6 +259,14 @@ class ExperimentRunner:
         the bundle instead of retraining; within one run, the multi-clustering
         supervision is additionally shared across the sls cells of a dataset
         that request the identical integration.
+    n_jobs : int, default 1
+        Worker processes for fanning out the (dataset, algorithm, repeat)
+        cells.  Every repeat keeps the exact per-repeat seeding of the
+        sequential path, so results are bit-identical for any ``n_jobs``;
+        workers cannot share the in-memory supervision cache, so parallel
+        runs may recompute a supervision that the sequential path would have
+        reused (the recomputation is deterministic and yields the same
+        object), and the per-worker cache statistics are merged on join.
 
     Attributes
     ----------
@@ -151,6 +287,7 @@ class ExperimentRunner:
         random_state: int = 0,
         config_overrides: dict | None = None,
         artifact_dir: str | Path | None = None,
+        n_jobs: int = 1,
     ) -> None:
         if not algorithm_names:
             raise ValidationError("algorithm_names must not be empty")
@@ -162,106 +299,35 @@ class ExperimentRunner:
         self.random_state = int(random_state)
         self.config_overrides = dict(config_overrides or {})
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self.n_jobs = check_positive_int(n_jobs, name="n_jobs")
         self._supervision_cache: dict[tuple, object] = {}
         self.n_artifact_hits = 0
         self.n_supervision_hits = 0
 
-    # --------------------------------------------------------------- warm start
-    def _artifact_path(self, dataset: Dataset, algorithm: str, repeat: int) -> Path:
-        safe = re.sub(r"[^A-Za-z0-9_.-]", "-", algorithm)
-        return self.artifact_dir / f"{dataset.abbreviation}__{safe}__r{repeat}"
+    # ----------------------------------------------------------------- plumbing
+    def _settings(self) -> dict:
+        return {
+            "n_hidden": self.n_hidden,
+            "n_epochs": self.n_epochs,
+            "batch_size": self.batch_size,
+            "random_state": self.random_state,
+            "config_overrides": self.config_overrides or None,
+            "artifact_dir": self.artifact_dir,
+        }
 
-    @staticmethod
-    def _supervision_key(dataset: Dataset, framework) -> tuple:
-        config = framework.config
-        return (
-            dataset.abbreviation,
-            framework.n_clusters,
-            config.supervision_preprocessing or config.preprocessing,
-            config.clusterers,
-            config.voting,
-            config.min_agreement,
-            config.random_state,
-        )
-
-    def _load_warm_framework(self, bundle: Path, expected, dataset: Dataset):
-        from repro.persistence import load_framework
-
-        if not bundle.is_dir():
-            return None
-        try:
-            loaded = load_framework(bundle)
-        except (PersistenceError, ValidationError, KeyError):
-            # A corrupted or undecodable bundle falls back to retraining (and
-            # is overwritten by the fresh fit below).
-            return None
-        # A bundle left over from a run with different hyper-parameters (the
-        # ablation hook changes eta/n_hidden/... without changing the cell
-        # name) or a differently-sized dataset must not be reused silently.
-        if (
-            loaded.config != expected.config
-            or loaded.n_clusters != expected.n_clusters
-            or loaded.model_.n_visible_ != dataset.n_features
-        ):
-            return None
-        return loaded
-
-    # --------------------------------------------------------------------- API
-    def run_cell(self, dataset: Dataset, algorithm: str) -> ExperimentCell:
-        """Evaluate one (dataset, algorithm) cell with repeats."""
-        from repro.persistence import save_framework
-
-        reports: list[ClusteringReport] = []
-        for repeat in range(self.n_repeats):
-            pipeline = build_algorithm(
-                algorithm,
-                dataset.n_classes,
-                n_hidden=self.n_hidden,
-                n_epochs=self.n_epochs,
-                batch_size=self.batch_size,
-                random_state=self.random_state + repeat,
-                config_overrides=self.config_overrides or None,
-            )
-            warm = None
-            if pipeline.framework is not None and self.artifact_dir is not None:
-                bundle = self._artifact_path(dataset, algorithm, repeat)
-                warm = self._load_warm_framework(bundle, pipeline.framework, dataset)
-                if warm is not None:
-                    pipeline.framework = warm
-                    self.n_artifact_hits += 1
-
-            supervision = None
-            if (
-                warm is None
-                and pipeline.framework is not None
-                and pipeline.framework.config.uses_supervision
-            ):
-                key = self._supervision_key(dataset, pipeline.framework)
-                supervision = self._supervision_cache.get(key)
-                if supervision is not None:
-                    self.n_supervision_hits += 1
-
-            reports.append(
-                pipeline.run(
-                    dataset, supervision=supervision, reuse_fitted=warm is not None
-                ).report
-            )
-
-            framework = pipeline.framework
-            if framework is not None and warm is None:
-                if (
-                    framework.config.uses_supervision
-                    and framework.supervision_ is not None
-                ):
-                    self._supervision_cache.setdefault(
-                        self._supervision_key(dataset, framework),
-                        framework.supervision_,
-                    )
-                if self.artifact_dir is not None:
-                    save_framework(
-                        framework, self._artifact_path(dataset, algorithm, repeat)
-                    )
-
+    def _merge_cell(
+        self, dataset: Dataset, algorithm: str, outcomes: list[_RepeatOutcome]
+    ) -> ExperimentCell:
+        """Fold repeat outcomes into a cell and absorb their cache statistics."""
+        for outcome in outcomes:
+            if outcome.artifact_hit:
+                self.n_artifact_hits += 1
+            if outcome.supervision_hit:
+                self.n_supervision_hits += 1
+            if outcome.supervision_entry is not None:
+                key, supervision = outcome.supervision_entry
+                self._supervision_cache.setdefault(key, supervision)
+        reports = [outcome.report for outcome in outcomes]
         mean = {
             metric: float(np.mean([r[metric] for r in reports]))
             for metric in _METRIC_NAMES
@@ -279,18 +345,64 @@ class ExperimentRunner:
             reports=tuple(reports),
         )
 
+    def _evaluate_cells(
+        self, pairs: list[tuple[Dataset, str]]
+    ) -> list[ExperimentCell]:
+        """Evaluate (dataset, algorithm) pairs, sequentially or via the pool."""
+        settings = self._settings()
+        if self.n_jobs == 1 or len(pairs) * self.n_repeats == 1:
+            cells = []
+            for dataset, algorithm in pairs:
+                outcomes = [
+                    _run_repeat(
+                        dataset, algorithm, repeat, settings, self._supervision_cache
+                    )
+                    for repeat in range(self.n_repeats)
+                ]
+                cells.append(self._merge_cell(dataset, algorithm, outcomes))
+            return cells
+
+        payloads = [
+            (dataset, algorithm, repeat, settings)
+            for dataset, algorithm in pairs
+            for repeat in range(self.n_repeats)
+        ]
+        with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
+            outcomes = list(pool.map(_run_repeat_task, payloads))
+        cells = []
+        for index, (dataset, algorithm) in enumerate(pairs):
+            chunk = outcomes[index * self.n_repeats : (index + 1) * self.n_repeats]
+            cells.append(self._merge_cell(dataset, algorithm, chunk))
+        return cells
+
+    # --------------------------------------------------------------------- API
+    def run_cell(self, dataset: Dataset, algorithm: str) -> ExperimentCell:
+        """Evaluate one (dataset, algorithm) cell with repeats."""
+        return self._evaluate_cells([(dataset, algorithm)])[0]
+
     def run_dataset(self, dataset: Dataset) -> list[ExperimentCell]:
         """Evaluate every algorithm of the grid on one dataset."""
-        return [self.run_cell(dataset, algorithm) for algorithm in self.algorithm_names]
+        return self._evaluate_cells(
+            [(dataset, algorithm) for algorithm in self.algorithm_names]
+        )
 
     def run_suite(self, suite: DatasetSuite, *, name: str | None = None) -> ExperimentTable:
-        """Evaluate the whole grid over a dataset suite."""
+        """Evaluate the whole grid over a dataset suite.
+
+        With ``n_jobs > 1`` every (dataset, algorithm, repeat) cell of the
+        grid is dispatched to the process pool at once, so the fan-out spans
+        the entire suite rather than one dataset at a time.
+        """
         table = ExperimentTable(
             name or suite.name,
             dataset_order=suite.abbreviations,
             algorithm_order=list(self.algorithm_names),
         )
-        for dataset in suite:
-            for cell in self.run_dataset(dataset):
-                table.add(cell)
+        pairs = [
+            (dataset, algorithm)
+            for dataset in suite
+            for algorithm in self.algorithm_names
+        ]
+        for cell in self._evaluate_cells(pairs):
+            table.add(cell)
         return table

@@ -32,9 +32,15 @@ def best_label_mapping(labels_true, labels_pred) -> dict[int, int]:
     _, true_uniques = relabel_consecutive(labels_true)
     _, pred_uniques = relabel_consecutive(labels_pred)
 
-    # Hungarian assignment maximising matched counts on the (classes x
-    # clusters) table; work on the transpose so rows are predicted clusters.
-    cost = -table.T
+    # Hungarian assignment on the (clusters x classes) transpose.  Each
+    # cluster's majority count is subtracted from its row first: a cluster
+    # left out of the assignment still contributes its majority class via
+    # the fallback below, so the quantity the assignment actually controls
+    # is the *gain over majority*, not the raw matched count.  Without this
+    # adjustment, ties between surplus clusters are broken by cluster
+    # numbering and the resulting accuracy is not invariant to relabelling
+    # the predicted clusters.
+    cost = -(table.T - table.max(axis=0)[:, None])
     row_ind, col_ind = linear_sum_assignment(cost)
     mapping: dict[int, int] = {}
     for pred_code, true_code in zip(row_ind, col_ind):
@@ -62,5 +68,9 @@ def clustering_accuracy(labels_true, labels_pred) -> float:
     check_same_length(labels_true, labels_pred, names=("labels_true", "labels_pred"))
 
     mapping = best_label_mapping(labels_true, labels_pred)
-    mapped = np.array([mapping[int(p)] for p in labels_pred])
+    # Array lookup table over the k distinct predicted labels instead of a
+    # Python dict lookup per sample.
+    pred_codes, pred_uniques = relabel_consecutive(labels_pred)
+    lookup = np.array([mapping[int(value)] for value in pred_uniques])
+    mapped = lookup[pred_codes]
     return float(np.mean(mapped == labels_true))

@@ -1,4 +1,4 @@
-"""Analytic gradients of the constrict/disperse loss (Eq. 27-32).
+"""Analytic gradients of the constrict/disperse loss (Eq. 27-32), fused.
 
 The paper derives, for the hidden features ``h_s = sigmoid(b + v_s W)`` of a
 visible matrix and local clusters ``H_1..H_K``,
@@ -15,18 +15,36 @@ visible matrix and local clusters ``H_1..H_K``,
 
     dL/da_i  = 0                                                       (Eq. 32 ff.)
 
-where ``O_k`` is the visible centre of cluster ``V_k`` and (following the
-derivative structure of Eq. 25) ``C_k = sigmoid(b + O_k W)`` is its hidden
-image.  ``L_recon`` has the same form with reconstructed visible data (Eq. 28).
+where ``O_k`` is the visible centre of cluster ``V_k`` and ``C_k`` is its
+hidden image ``sigmoid(b + O_k W)``.  ``L_recon`` has the same form with
+reconstructed visible data (Eq. 28).
 
-The inner double sum over same-cluster pairs is evaluated in closed form:
-for each cluster with members ``(V, H)`` and derivative factors
-``D = H * (1 - H)``,
+This module evaluates both double sums in closed form with **one** hidden
+activation and **one** weight-shaped matmul over the whole covered matrix:
 
-    sum_{s,t} (h_sj - h_tj)(d_sj v_si - d_tj v_ti)
-        = 2 [ n_k (V^T (H*D))_{ij} - (sum_s h_sj) (V^T D)_{ij} ],
+* same-cluster pairs: with ``D = H (1 - H)`` and per-cluster hidden sums
+  ``s_k = sum_{r in k} h_r``,
 
-which turns an O(n_k^2) pair loop into two matrix products.
+      sum_k sum_{s,t in H_k} (...) = V^T [ D * (n_row H - S_row) ]
+
+  where ``n_row``/``S_row`` broadcast each row's cluster size / cluster
+  hidden sum — no per-cluster loop, no per-cluster sigmoid;
+* centre pairs: summing the unordered p<q loop in closed form gives
+
+      sum_{p<q} (...) = O^T [ D_C * (K C - sum_p C_p) ]
+
+  which removes the O(K^2) Python pair loop;
+* the loss uses the identity
+  ``sum_{s,t} ||h_s - h_t||^2 = 2 n_k sum_s ||h_s||^2 - 2 ||sum_s h_s||^2``
+  instead of an O(n_k^2) Gram matrix.
+
+The covered rows are pre-sorted by cluster once (``SupervisionPlan``, built
+in ``SlsBase.set_supervision``), so the per-minibatch hot path is pure
+ndarray arithmetic on contiguous segments (``np.add.reduceat``).
+
+The original loop implementations are kept in
+:mod:`repro.rbm.gradients_reference` as the correctness anchor and
+benchmark baseline.
 
 Normalisation: ``N_h`` is the total number of ordered same-cluster pairs and
 ``N_C = K(K-1)/2``, matching :mod:`repro.rbm.objective`.
@@ -43,8 +61,12 @@ from repro.utils.numerics import sigmoid
 
 __all__ = [
     "SupervisionGradients",
+    "SupervisionPlan",
+    "build_supervision_plan",
     "constrict_disperse_gradient",
+    "constrict_disperse_gradient_presorted",
     "constrict_disperse_loss_exact",
+    "constrict_disperse_loss_presorted",
 ]
 
 
@@ -81,43 +103,199 @@ class SupervisionGradients:
         )
 
 
-def _pairwise_terms(
-    visible: np.ndarray, hidden: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Closed-form constriction term of one cluster.
+@dataclass(frozen=True)
+class SupervisionPlan:
+    """Precomputed cluster layout of the covered rows, sorted by cluster.
 
-    Returns the weight-shaped and bias-shaped contributions of
-    ``sum_{s,t in cluster}`` *before* any normalisation.
+    Built once per supervision (``build_supervision_plan``) so that the
+    per-minibatch kernels never touch Python dictionaries or index sets.
+
+    Attributes
+    ----------
+    order : ndarray of shape (n_covered,)
+        Permutation that sorts the covered rows by ascending cluster id;
+        rows of each cluster form one contiguous segment.
+    starts : ndarray of shape (n_clusters,)
+        Segment start offsets into the sorted rows (for ``np.add.reduceat``).
+    counts : ndarray of shape (n_clusters,)
+        Members per cluster.
+    row_counts : ndarray of shape (n_covered,)
+        ``counts`` broadcast to the sorted rows (``repeat(counts, counts)``).
+    row_cluster : ndarray of shape (n_covered,)
+        Cluster *row index* (0..n_clusters-1) per sorted row, for gathering
+        per-cluster aggregates back onto the rows.
+    cluster_ids : ndarray of shape (n_clusters,)
+        Sorted original cluster identifiers (for round-trips/debugging).
+    n_ordered_pairs : int
+        ``sum_k n_k (n_k - 1)`` — the constriction normaliser ``N_h``.
     """
-    count = visible.shape[0]
-    derivative = hidden * (1.0 - hidden)  # d_sj = h_sj (1 - h_sj)
-    hidden_sum = hidden.sum(axis=0)  # (n_hidden,)
-    weighted = hidden * derivative  # h_sj d_sj
 
-    grad_w = 2.0 * (count * (visible.T @ weighted) - (visible.T @ derivative) * hidden_sum)
-    grad_b = 2.0 * (
-        count * (hidden * derivative).sum(axis=0) - hidden_sum * derivative.sum(axis=0)
+    order: np.ndarray
+    starts: np.ndarray
+    counts: np.ndarray
+    row_counts: np.ndarray
+    row_cluster: np.ndarray
+    cluster_ids: np.ndarray
+    n_ordered_pairs: int
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def n_covered(self) -> int:
+        return int(self.order.shape[0])
+
+    @property
+    def n_center_pairs(self) -> float:
+        k = self.n_clusters
+        return k * (k - 1) / 2.0
+
+    def sorted_index_sets(self) -> dict[int, np.ndarray]:
+        """Index sets relative to the *sorted* covered matrix (contiguous)."""
+        return {
+            int(cid): np.arange(start, start + count)
+            for cid, start, count in zip(self.cluster_ids, self.starts, self.counts)
+        }
+
+
+def build_supervision_plan(index_sets: dict[int, np.ndarray]) -> SupervisionPlan:
+    """Validate ``index_sets`` and precompute the sorted cluster layout."""
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+    cluster_ids = sorted(index_sets)
+    segments = []
+    counts = np.empty(len(cluster_ids), dtype=int)
+    for row, cluster_id in enumerate(cluster_ids):
+        indices = np.asarray(index_sets[cluster_id], dtype=int)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValidationError(f"cluster {cluster_id} has an invalid index set")
+        segments.append(indices)
+        counts[row] = indices.shape[0]
+    order = np.concatenate(segments)
+    starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+    return SupervisionPlan(
+        order=order,
+        starts=starts,
+        counts=counts,
+        row_counts=np.repeat(counts, counts),
+        row_cluster=np.repeat(np.arange(counts.shape[0]), counts),
+        cluster_ids=np.asarray(cluster_ids, dtype=int),
+        n_ordered_pairs=int((counts * counts - counts).sum()),
     )
-    return grad_w, grad_b
 
 
-def _center_terms(
-    visible_centers: np.ndarray, hidden_centers: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Dispersion term summed over all centre pairs ``p < q`` (unnormalised)."""
-    n_clusters, n_hidden = hidden_centers.shape
-    n_visible = visible_centers.shape[1]
-    grad_w = np.zeros((n_visible, n_hidden))
-    grad_b = np.zeros(n_hidden)
-    derivative = hidden_centers * (1.0 - hidden_centers)
-    for p in range(n_clusters - 1):
-        for q in range(p + 1, n_clusters):
-            delta = hidden_centers[p] - hidden_centers[q]  # (n_hidden,)
-            grad_w += np.outer(visible_centers[p], delta * derivative[p]) - np.outer(
-                visible_centers[q], delta * derivative[q]
-            )
-            grad_b += delta * (derivative[p] - derivative[q])
-    return grad_w, grad_b
+def _cluster_centers(visible_sorted: np.ndarray, plan: SupervisionPlan) -> np.ndarray:
+    sums = np.add.reduceat(visible_sorted, plan.starts, axis=0)
+    return sums / plan.counts[:, None]
+
+
+def constrict_disperse_gradient_presorted(
+    visible_sorted: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    plan: SupervisionPlan,
+    *,
+    hidden: np.ndarray | None = None,
+    return_hidden: bool = False,
+):
+    """Fused gradient kernel over a cluster-sorted covered matrix.
+
+    ``visible_sorted`` must hold the covered rows in ``plan.order`` (each
+    cluster contiguous).  ``hidden`` may pass in an already computed
+    activation matrix ``sigmoid(b + V W)`` to skip the matmul; with
+    ``return_hidden=True`` the activation is returned alongside the
+    gradients so callers can reuse it (e.g. for the reconstruction term).
+    """
+    if hidden is None:
+        hidden = sigmoid(hidden_bias + visible_sorted @ weights)
+    derivative = hidden * (1.0 - hidden)
+
+    # Constriction: V^T [D * (n_row H - S_row)] in one matmul.
+    if plan.n_ordered_pairs > 0:
+        cluster_sums = np.add.reduceat(hidden, plan.starts, axis=0)
+        fused = derivative * (
+            plan.row_counts[:, None] * hidden - cluster_sums[plan.row_cluster]
+        )
+        scale = 4.0 / plan.n_ordered_pairs
+        grad_w_pairs = scale * (visible_sorted.T @ fused)
+        grad_b_pairs = scale * fused.sum(axis=0)
+    else:
+        grad_w_pairs = np.zeros_like(weights)
+        grad_b_pairs = np.zeros_like(hidden_bias)
+
+    # Dispersion: O^T [D_C * (K C - sum_p C_p)], no pair loop.
+    if plan.n_clusters >= 2:
+        centers = _cluster_centers(visible_sorted, plan)
+        hidden_centers = sigmoid(hidden_bias + centers @ weights)
+        center_derivative = hidden_centers * (1.0 - hidden_centers)
+        fused_centers = center_derivative * (
+            plan.n_clusters * hidden_centers - hidden_centers.sum(axis=0)
+        )
+        scale = 2.0 / plan.n_center_pairs
+        grad_w_centers = scale * (centers.T @ fused_centers)
+        grad_b_centers = scale * fused_centers.sum(axis=0)
+    else:
+        grad_w_centers = np.zeros_like(grad_w_pairs)
+        grad_b_centers = np.zeros_like(grad_b_pairs)
+
+    grads = SupervisionGradients(
+        grad_weights=grad_w_pairs - grad_w_centers,
+        grad_hidden_bias=grad_b_pairs - grad_b_centers,
+    )
+    if return_hidden:
+        return grads, hidden
+    return grads
+
+
+def constrict_disperse_loss_presorted(
+    visible_sorted: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    plan: SupervisionPlan,
+    *,
+    hidden: np.ndarray | None = None,
+) -> float:
+    """Fused loss over a cluster-sorted covered matrix (see the module doc).
+
+    Uses ``sum_{s,t} ||h_s - h_t||^2 = 2 n sum ||h_s||^2 - 2 ||sum h_s||^2``
+    per cluster instead of a Gram matrix.
+    """
+    if hidden is None:
+        hidden = sigmoid(hidden_bias + visible_sorted @ weights)
+
+    constrict = 0.0
+    if plan.n_ordered_pairs > 0:
+        row_norms = (hidden * hidden).sum(axis=1)
+        norm_sums = np.add.reduceat(row_norms, plan.starts)
+        cluster_sums = np.add.reduceat(hidden, plan.starts, axis=0)
+        per_cluster = 2.0 * (
+            plan.counts * norm_sums - (cluster_sums * cluster_sums).sum(axis=1)
+        )
+        # Floating cancellation can leave tiny negatives; distances are >= 0.
+        constrict = float(np.maximum(per_cluster, 0.0).sum()) / plan.n_ordered_pairs
+
+    disperse = 0.0
+    if plan.n_clusters >= 2:
+        centers = _cluster_centers(visible_sorted, plan)
+        hidden_centers = sigmoid(hidden_bias + centers @ weights)
+        center_norms = (hidden_centers * hidden_centers).sum(axis=1)
+        total = hidden_centers.sum(axis=0)
+        disperse = float(
+            max(plan.n_clusters * center_norms.sum() - total @ total, 0.0)
+        ) / plan.n_center_pairs
+    return constrict - disperse
+
+
+def _validate_inputs(visible, weights, hidden_bias) -> None:
+    if visible.ndim != 2:
+        raise ValidationError("visible must be a 2-D array")
+    if weights.shape[0] != visible.shape[1]:
+        raise ValidationError(
+            f"weights expect {weights.shape[0]} visible units, data has {visible.shape[1]}"
+        )
+    if hidden_bias.shape[0] != weights.shape[1]:
+        raise ValidationError("hidden_bias length does not match weights")
 
 
 def constrict_disperse_gradient(
@@ -141,63 +319,20 @@ def constrict_disperse_gradient(
     -------
     SupervisionGradients
         ``dL/dW`` and ``dL/db``; ``dL/da`` is zero by Eq. 32.
+
+    Notes
+    -----
+    This convenience wrapper sorts the covered rows on every call.  The
+    training hot path precomputes the :class:`SupervisionPlan` once and goes
+    through :func:`constrict_disperse_gradient_presorted` instead.
     """
     visible = np.asarray(visible, dtype=float)
     weights = np.asarray(weights, dtype=float)
     hidden_bias = np.asarray(hidden_bias, dtype=float)
-    if visible.ndim != 2:
-        raise ValidationError("visible must be a 2-D array")
-    if weights.shape[0] != visible.shape[1]:
-        raise ValidationError(
-            f"weights expect {weights.shape[0]} visible units, data has {visible.shape[1]}"
-        )
-    if hidden_bias.shape[0] != weights.shape[1]:
-        raise ValidationError("hidden_bias length does not match weights")
-    if not index_sets:
-        raise ValidationError("index_sets must contain at least one cluster")
-
-    n_visible, n_hidden = weights.shape
-    grad_w_pairs = np.zeros((n_visible, n_hidden))
-    grad_b_pairs = np.zeros(n_hidden)
-    n_ordered_pairs = 0
-
-    cluster_ids = sorted(index_sets)
-    visible_centers = np.zeros((len(cluster_ids), n_visible))
-
-    for row, cluster_id in enumerate(cluster_ids):
-        indices = np.asarray(index_sets[cluster_id], dtype=int)
-        if indices.ndim != 1 or indices.size == 0:
-            raise ValidationError(f"cluster {cluster_id} has an invalid index set")
-        members_visible = visible[indices]
-        visible_centers[row] = members_visible.mean(axis=0)
-        count = indices.shape[0]
-        if count < 2:
-            continue
-        members_hidden = sigmoid(hidden_bias + members_visible @ weights)
-        grad_w, grad_b = _pairwise_terms(members_visible, members_hidden)
-        grad_w_pairs += grad_w
-        grad_b_pairs += grad_b
-        n_ordered_pairs += count * count - count
-
-    if n_ordered_pairs > 0:
-        # Chain-rule factor 2 of d||h_s - h_t||^2 / dW, then the 1/N_h average.
-        grad_w_pairs = 2.0 * grad_w_pairs / n_ordered_pairs
-        grad_b_pairs = 2.0 * grad_b_pairs / n_ordered_pairs
-
-    n_clusters = len(cluster_ids)
-    if n_clusters >= 2:
-        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
-        grad_w_centers, grad_b_centers = _center_terms(visible_centers, hidden_centers)
-        n_center_pairs = n_clusters * (n_clusters - 1) / 2.0
-        grad_w_centers = 2.0 * grad_w_centers / n_center_pairs
-        grad_b_centers = 2.0 * grad_b_centers / n_center_pairs
-    else:
-        grad_w_centers = np.zeros_like(grad_w_pairs)
-        grad_b_centers = np.zeros_like(grad_b_pairs)
-
-    return SupervisionGradients(
-        grad_weights=grad_w_pairs - grad_w_centers,
-        grad_hidden_bias=grad_b_pairs - grad_b_centers,
+    _validate_inputs(visible, weights, hidden_bias)
+    plan = build_supervision_plan(index_sets)
+    return constrict_disperse_gradient_presorted(
+        visible[plan.order], weights, hidden_bias, plan
     )
 
 
@@ -219,36 +354,7 @@ def constrict_disperse_loss_exact(
     visible = np.asarray(visible, dtype=float)
     weights = np.asarray(weights, dtype=float)
     hidden_bias = np.asarray(hidden_bias, dtype=float)
-    if not index_sets:
-        raise ValidationError("index_sets must contain at least one cluster")
-
-    cluster_ids = sorted(index_sets)
-    constrict_total = 0.0
-    n_ordered_pairs = 0
-    visible_centers = np.zeros((len(cluster_ids), visible.shape[1]))
-    for row, cluster_id in enumerate(cluster_ids):
-        indices = np.asarray(index_sets[cluster_id], dtype=int)
-        members_visible = visible[indices]
-        visible_centers[row] = members_visible.mean(axis=0)
-        count = indices.shape[0]
-        if count < 2:
-            continue
-        hidden = sigmoid(hidden_bias + members_visible @ weights)
-        squared_norms = np.sum(hidden**2, axis=1)
-        gram = hidden @ hidden.T
-        pair_distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
-        constrict_total += float(np.maximum(pair_distances, 0.0).sum())
-        n_ordered_pairs += count * count - count
-    constrict = constrict_total / n_ordered_pairs if n_ordered_pairs else 0.0
-
-    n_clusters = len(cluster_ids)
-    disperse = 0.0
-    if n_clusters >= 2:
-        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
-        total = 0.0
-        for p in range(n_clusters - 1):
-            for q in range(p + 1, n_clusters):
-                diff = hidden_centers[p] - hidden_centers[q]
-                total += float(diff @ diff)
-        disperse = total / (n_clusters * (n_clusters - 1) / 2.0)
-    return constrict - disperse
+    plan = build_supervision_plan(index_sets)
+    return constrict_disperse_loss_presorted(
+        visible[plan.order], weights, hidden_bias, plan
+    )

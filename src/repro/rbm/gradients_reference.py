@@ -1,0 +1,168 @@
+"""Reference (loop-based) constrict/disperse kernels.
+
+These are the original, straightforward implementations of the supervision
+gradient (Eq. 27-32) and its loss: a closed-form constriction term evaluated
+cluster by cluster, an O(K^2) Python loop over centre pairs for the
+dispersion term, and an O(n_k^2) Gram matrix for the loss.  They are kept —
+verbatim in structure — for two reasons:
+
+* correctness anchor: the vectorized kernels in :mod:`repro.rbm.gradients`
+  must match them to ~1e-10 (see ``tests/rbm/test_gradient_equivalence.py``);
+* measuring stick: ``python -m repro bench`` times the fused kernels against
+  these to keep the speedup trajectory visible in ``BENCH_training.json``.
+
+Do not optimise this module; optimise :mod:`repro.rbm.gradients` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.numerics import sigmoid
+
+__all__ = [
+    "constrict_disperse_gradient_reference",
+    "constrict_disperse_loss_reference",
+]
+
+
+def _pairwise_terms_reference(
+    visible: np.ndarray, hidden: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form constriction term of one cluster (unnormalised)."""
+    count = visible.shape[0]
+    derivative = hidden * (1.0 - hidden)  # d_sj = h_sj (1 - h_sj)
+    hidden_sum = hidden.sum(axis=0)  # (n_hidden,)
+    weighted = hidden * derivative  # h_sj d_sj
+
+    grad_w = 2.0 * (count * (visible.T @ weighted) - (visible.T @ derivative) * hidden_sum)
+    grad_b = 2.0 * (
+        count * (hidden * derivative).sum(axis=0) - hidden_sum * derivative.sum(axis=0)
+    )
+    return grad_w, grad_b
+
+
+def _center_terms_reference(
+    visible_centers: np.ndarray, hidden_centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispersion term summed over all centre pairs ``p < q`` (unnormalised)."""
+    n_clusters, n_hidden = hidden_centers.shape
+    n_visible = visible_centers.shape[1]
+    grad_w = np.zeros((n_visible, n_hidden))
+    grad_b = np.zeros(n_hidden)
+    derivative = hidden_centers * (1.0 - hidden_centers)
+    for p in range(n_clusters - 1):
+        for q in range(p + 1, n_clusters):
+            delta = hidden_centers[p] - hidden_centers[q]  # (n_hidden,)
+            grad_w += np.outer(visible_centers[p], delta * derivative[p]) - np.outer(
+                visible_centers[q], delta * derivative[q]
+            )
+            grad_b += delta * (derivative[p] - derivative[q])
+    return grad_w, grad_b
+
+
+def constrict_disperse_gradient_reference(
+    visible: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    index_sets: dict[int, np.ndarray],
+):
+    """Loop-based gradient of Eq. 14/15; see :mod:`repro.rbm.gradients`."""
+    from repro.rbm.gradients import SupervisionGradients
+
+    visible = np.asarray(visible, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    hidden_bias = np.asarray(hidden_bias, dtype=float)
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+
+    n_visible, n_hidden = weights.shape
+    grad_w_pairs = np.zeros((n_visible, n_hidden))
+    grad_b_pairs = np.zeros(n_hidden)
+    n_ordered_pairs = 0
+
+    cluster_ids = sorted(index_sets)
+    visible_centers = np.zeros((len(cluster_ids), n_visible))
+
+    for row, cluster_id in enumerate(cluster_ids):
+        indices = np.asarray(index_sets[cluster_id], dtype=int)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValidationError(f"cluster {cluster_id} has an invalid index set")
+        members_visible = visible[indices]
+        visible_centers[row] = members_visible.mean(axis=0)
+        count = indices.shape[0]
+        if count < 2:
+            continue
+        members_hidden = sigmoid(hidden_bias + members_visible @ weights)
+        grad_w, grad_b = _pairwise_terms_reference(members_visible, members_hidden)
+        grad_w_pairs += grad_w
+        grad_b_pairs += grad_b
+        n_ordered_pairs += count * count - count
+
+    if n_ordered_pairs > 0:
+        grad_w_pairs = 2.0 * grad_w_pairs / n_ordered_pairs
+        grad_b_pairs = 2.0 * grad_b_pairs / n_ordered_pairs
+
+    n_clusters = len(cluster_ids)
+    if n_clusters >= 2:
+        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
+        grad_w_centers, grad_b_centers = _center_terms_reference(
+            visible_centers, hidden_centers
+        )
+        n_center_pairs = n_clusters * (n_clusters - 1) / 2.0
+        grad_w_centers = 2.0 * grad_w_centers / n_center_pairs
+        grad_b_centers = 2.0 * grad_b_centers / n_center_pairs
+    else:
+        grad_w_centers = np.zeros_like(grad_w_pairs)
+        grad_b_centers = np.zeros_like(grad_b_pairs)
+
+    return SupervisionGradients(
+        grad_weights=grad_w_pairs - grad_w_centers,
+        grad_hidden_bias=grad_b_pairs - grad_b_centers,
+    )
+
+
+def constrict_disperse_loss_reference(
+    visible: np.ndarray,
+    weights: np.ndarray,
+    hidden_bias: np.ndarray,
+    index_sets: dict[int, np.ndarray],
+) -> float:
+    """Loop/Gram-matrix evaluation of the constrict/disperse loss."""
+    visible = np.asarray(visible, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    hidden_bias = np.asarray(hidden_bias, dtype=float)
+    if not index_sets:
+        raise ValidationError("index_sets must contain at least one cluster")
+
+    cluster_ids = sorted(index_sets)
+    constrict_total = 0.0
+    n_ordered_pairs = 0
+    visible_centers = np.zeros((len(cluster_ids), visible.shape[1]))
+    for row, cluster_id in enumerate(cluster_ids):
+        indices = np.asarray(index_sets[cluster_id], dtype=int)
+        members_visible = visible[indices]
+        visible_centers[row] = members_visible.mean(axis=0)
+        count = indices.shape[0]
+        if count < 2:
+            continue
+        hidden = sigmoid(hidden_bias + members_visible @ weights)
+        squared_norms = np.sum(hidden**2, axis=1)
+        gram = hidden @ hidden.T
+        pair_distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+        constrict_total += float(np.maximum(pair_distances, 0.0).sum())
+        n_ordered_pairs += count * count - count
+    constrict = constrict_total / n_ordered_pairs if n_ordered_pairs else 0.0
+
+    n_clusters = len(cluster_ids)
+    disperse = 0.0
+    if n_clusters >= 2:
+        hidden_centers = sigmoid(hidden_bias + visible_centers @ weights)
+        total = 0.0
+        for p in range(n_clusters - 1):
+            for q in range(p + 1, n_clusters):
+                diff = hidden_centers[p] - hidden_centers[q]
+                total += float(diff @ diff)
+        disperse = total / (n_clusters * (n_clusters - 1) / 2.0)
+    return constrict - disperse

@@ -30,18 +30,18 @@ class GaussianRBM(BaseRBM):
     def visible_reconstruction(self, hidden: np.ndarray) -> np.ndarray:
         """Linear reconstruction ``a + h W^T`` (mean of Eq. 5 with sigma=1)."""
         self._check_fitted()
-        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=self.dtype))
         return self.visible_bias_ + hidden @ self.weights_.T
 
     def sample_visible(self, hidden: np.ndarray) -> np.ndarray:
         """Gaussian sample ``N(a + h W^T, 1)`` of the visible units."""
         mean = self.visible_reconstruction(hidden)
-        return mean + self._rng.standard_normal(mean.shape)
+        return mean + self._rng.standard_normal(mean.shape).astype(self.dtype, copy=False)
 
     def free_energy(self, visible: np.ndarray) -> np.ndarray:
         """``F(v) = ||v - a||^2 / 2 - sum_j log(1 + exp(b_j + v.W_j))``."""
         self._check_fitted()
-        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        visible = np.atleast_2d(np.asarray(visible, dtype=self.dtype))
         quadratic = 0.5 * np.sum((visible - self.visible_bias_) ** 2, axis=1)
         hidden_term = log1pexp(self.hidden_bias_ + visible @ self.weights_).sum(axis=1)
         return quadratic - hidden_term

@@ -32,18 +32,20 @@ class BernoulliRBM(BaseRBM):
     def visible_reconstruction(self, hidden: np.ndarray) -> np.ndarray:
         """``p(v = 1 | h) = sigmoid(a + h W^T)`` (Eq. 3)."""
         self._check_fitted()
-        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
-        return sigmoid(self.visible_bias_ + hidden @ self.weights_.T)
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=self.dtype))
+        pre_activation = hidden @ self.weights_.T
+        pre_activation += self.visible_bias_
+        return sigmoid(pre_activation, out=pre_activation)
 
     def sample_visible(self, hidden: np.ndarray) -> np.ndarray:
         """Bernoulli sample of the visible units given hidden states."""
         probabilities = self.visible_reconstruction(hidden)
-        return (self._rng.random(probabilities.shape) < probabilities).astype(float)
+        return (self._rng.random(probabilities.shape) < probabilities).astype(self.dtype)
 
     def free_energy(self, visible: np.ndarray) -> np.ndarray:
         """``F(v) = -a.v - sum_j log(1 + exp(b_j + v.W_j))`` per sample."""
         self._check_fitted()
-        visible = np.atleast_2d(np.asarray(visible, dtype=float))
+        visible = np.atleast_2d(np.asarray(visible, dtype=self.dtype))
         visible_term = visible @ self.visible_bias_
         hidden_term = log1pexp(self.hidden_bias_ + visible @ self.weights_).sum(axis=1)
         return -visible_term - hidden_term

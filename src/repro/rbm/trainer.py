@@ -108,6 +108,11 @@ class RBMTrainer:
         """Run the full training loop on ``data``."""
         data = check_array(data, name="data")
         model = self.model
+        dtype = getattr(model, "dtype", None)
+        if dtype is not None and data.dtype != dtype:
+            # Cast once up front so the minibatch slices below reach
+            # partial_fit in the model's compute dtype without per-batch copies.
+            data = data.astype(dtype)
         model.initialize(data)
         if supervision is not None or hasattr(model, "set_supervision"):
             if hasattr(model, "set_supervision"):
@@ -165,16 +170,4 @@ class RBMTrainer:
     @staticmethod
     def _supervision_loss(model) -> float:
         """``L_data + L_recon`` of the attached supervision at the current params."""
-        from repro.rbm.gradients import constrict_disperse_loss_exact
-
-        visible = model._supervision_visible
-        index_sets = model._supervision_index_sets
-        l_data = constrict_disperse_loss_exact(
-            visible, model.weights_, model.hidden_bias_, index_sets
-        )
-        hidden = model.hidden_probabilities(visible)
-        visible_recon = model.visible_reconstruction(hidden)
-        l_recon = constrict_disperse_loss_exact(
-            visible_recon, model.weights_, model.hidden_bias_, index_sets
-        )
-        return float(l_data + l_recon)
+        return model.supervision_loss()

@@ -23,19 +23,37 @@ __all__ = [
 _LOG_EPS = 1e-12
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Elementwise logistic function ``1 / (1 + exp(-x))``.
 
-    Uses the two-branch formulation so that neither ``exp(x)`` nor
-    ``exp(-x)`` can overflow for extreme pre-activations.
+    Evaluated as ``t / (1 + t)`` with ``t = exp(-|x|)`` (and the numerator
+    replaced by 1 where ``x >= 0``), which is the branch-free form of the
+    classic two-branch stable sigmoid: neither exponential can overflow, and
+    the result is identical bit for bit.
+
+    Parameters
+    ----------
+    x : array-like
+        Pre-activations.  Floating inputs keep their dtype (float32 stays
+        float32 — used by the reduced-precision training path); other dtypes
+        are promoted to float64.
+    out : ndarray, optional
+        Preallocated output buffer of the same shape/dtype as ``x``; may be
+        ``x`` itself.  Lets hot loops avoid reallocating activation-sized
+        arrays every minibatch.
     """
-    x = np.asarray(x, dtype=float)
-    out = np.empty_like(x)
-    positive = x >= 0
-    negative = ~positive
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[negative])
-    out[negative] = exp_x / (1.0 + exp_x)
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(float)
+    positive = x >= 0  # before any in-place write in case out is x
+    if out is None:
+        out = np.empty_like(x)
+    np.abs(x, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)  # t = exp(-|x|), in (0, 1]
+    numerator = np.where(positive, x.dtype.type(1.0), out)
+    np.add(out, x.dtype.type(1.0), out=out)
+    np.divide(numerator, out, out=out)
     return out
 
 

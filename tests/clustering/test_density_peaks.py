@@ -73,6 +73,53 @@ class TestDensityPeaks:
     def test_name(self):
         assert DensityPeaks(2).name == "DP"
 
+    def test_chunk_size_does_not_change_results(self, blobs_dataset):
+        data, _ = blobs_dataset
+        whole = DensityPeaks(3, chunk_size=100_000).fit(data)
+        chunked = DensityPeaks(3, chunk_size=7).fit(data)
+        np.testing.assert_array_equal(whole.labels_, chunked.labels_)
+        # BLAS gemm results differ at ulp level between block shapes, so the
+        # chunked workspace is identical only up to rounding.
+        np.testing.assert_allclose(whole.rho_, chunked.rho_, rtol=1e-10)
+        np.testing.assert_allclose(whole.delta_, chunked.delta_, rtol=1e-10)
+        assert whole.dc_ == pytest.approx(chunked.dc_, rel=1e-12)
+
+    def test_dc_matches_off_diagonal_percentile(self, blobs_dataset):
+        from repro.utils.numerics import pairwise_squared_distances
+
+        data, _ = blobs_dataset
+        model = DensityPeaks(3).fit(data)
+        distances = np.sqrt(pairwise_squared_distances(data))
+        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
+        assert model.dc_ == pytest.approx(
+            np.percentile(off_diagonal, model.dc_percentile), abs=1e-12
+        )
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValidationError):
+            DensityPeaks(2, chunk_size=0)
+
+    def test_duplicate_rows_do_not_degenerate_dc(self):
+        # x.x + y.y - 2 x.y cancellation noise on coincident rows must not
+        # masquerade as tiny positive distances and wreck the d_c percentile.
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(57, 4))
+        data[10:20] = data[0]
+        model = DensityPeaks(3).fit(data)
+        assert model.dc_ > 1e-3
+        assert np.bincount(model.labels_).max() < 50  # not one giant cluster
+
+    def test_tied_distances_resolve_to_densest_neighbour(self):
+        # Binary data with duplicated rows produces exact distance ties; the
+        # nearest-higher-density neighbour must break them by density (the
+        # pre-vectorisation behaviour), not by sample index.
+        rng = np.random.default_rng(5)
+        base = (rng.random((40, 8)) < 0.5).astype(float)
+        data = np.vstack([base, base[:20]])
+        labels = DensityPeaks(3).fit_predict(data)
+        # Duplicated rows are distance-0 twins and must co-cluster.
+        np.testing.assert_array_equal(labels[:20], labels[40:])
+
     def test_members_follow_higher_density_neighbour(self):
         # Two tight groups: assignment by nearest higher-density neighbour
         # must keep each group together.

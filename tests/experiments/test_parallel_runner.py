@@ -1,0 +1,79 @@
+"""Parallel experiment runner: bit-identical results, merged statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_uci_suite
+from repro.datasets.base import DatasetSuite
+from repro.exceptions import ValidationError
+from repro.experiments.runner import ExperimentRunner
+
+ALGORITHMS = ("DP", "K-means", "K-means+RBM", "K-means+slsRBM")
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    suite = load_uci_suite(scale=0.25, random_state=0)
+    return DatasetSuite("mini", list(suite)[:2])
+
+
+def _run(suite, n_jobs, n_repeats=2):
+    runner = ExperimentRunner(
+        ALGORITHMS,
+        n_repeats=n_repeats,
+        n_hidden=6,
+        n_epochs=2,
+        batch_size=32,
+        random_state=0,
+        n_jobs=n_jobs,
+    )
+    return runner, runner.run_suite(suite)
+
+
+class TestParallelRunner:
+    def test_bit_identical_to_sequential(self, mini_suite):
+        _, sequential = _run(mini_suite, n_jobs=1)
+        _, parallel = _run(mini_suite, n_jobs=2)
+        for dataset in sequential.dataset_order:
+            for algorithm in ALGORITHMS:
+                cell_seq = sequential.cell(dataset, algorithm)
+                cell_par = parallel.cell(dataset, algorithm)
+                assert cell_seq.mean == cell_par.mean
+                assert cell_seq.variance == cell_par.variance
+                for report_seq, report_par in zip(cell_seq.reports, cell_par.reports):
+                    assert report_seq.as_dict() == report_par.as_dict()
+                    np.testing.assert_array_equal(
+                        report_seq.n_clusters, report_par.n_clusters
+                    )
+
+    def test_parallel_run_cell(self, mini_suite):
+        dataset = list(mini_suite)[0]
+        runner_seq = ExperimentRunner(
+            ("K-means+slsRBM",), n_repeats=2, n_hidden=6, n_epochs=2,
+            batch_size=32, random_state=0, n_jobs=1,
+        )
+        runner_par = ExperimentRunner(
+            ("K-means+slsRBM",), n_repeats=2, n_hidden=6, n_epochs=2,
+            batch_size=32, random_state=0, n_jobs=2,
+        )
+        cell_seq = runner_seq.run_cell(dataset, "K-means+slsRBM")
+        cell_par = runner_par.run_cell(dataset, "K-means+slsRBM")
+        assert cell_seq.mean == cell_par.mean
+
+    def test_supervision_cache_merged_on_join(self, mini_suite):
+        dataset = list(mini_suite)[0]
+        runner = ExperimentRunner(
+            ("K-means+slsRBM", "DP+slsRBM"),
+            n_repeats=1, n_hidden=6, n_epochs=2, batch_size=32,
+            random_state=0, n_jobs=2,
+        )
+        runner.run_dataset(dataset)
+        # Both sls cells computed the same supervision in their workers; the
+        # join folds it into the parent cache exactly once.
+        assert len(runner._supervision_cache) == 1
+
+    def test_n_jobs_validation(self):
+        with pytest.raises(ValidationError):
+            ExperimentRunner(("DP",), n_jobs=0)

@@ -1,0 +1,92 @@
+"""float32 training path: dtype threading, quality and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.exceptions import ValidationError
+from repro.persistence import load_framework, load_model, save_framework, save_model
+from repro.rbm.grbm import GaussianRBM
+from repro.rbm.rbm import BernoulliRBM
+from repro.rbm.sls_grbm import SlsGRBM
+from repro.supervision.local_supervision import LocalSupervision
+
+
+@pytest.fixture(scope="module")
+def gaussian_data():
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.normal(c, 1.0, size=(60, 12)) for c in (-2.0, 0.0, 2.0)]
+    )
+    return (data - data.mean(axis=0)) / data.std(axis=0)
+
+
+class TestDtypeThreading:
+    def test_default_is_float64(self, gaussian_data):
+        model = GaussianRBM(8, n_epochs=2, random_state=0).fit(gaussian_data)
+        assert model.dtype == np.dtype(np.float64)
+        assert model.weights_.dtype == np.float64
+        assert model.transform(gaussian_data).dtype == np.float64
+
+    def test_float32_parameters_and_features(self, gaussian_data):
+        model = GaussianRBM(8, n_epochs=2, dtype="float32", random_state=0)
+        model.fit(gaussian_data)
+        assert model.weights_.dtype == np.float32
+        assert model.visible_bias_.dtype == np.float32
+        assert model.hidden_bias_.dtype == np.float32
+        assert model.transform(gaussian_data).dtype == np.float32
+
+    def test_float32_close_to_float64(self, gaussian_data):
+        kwargs = dict(n_epochs=3, batch_size=32, random_state=0)
+        features64 = GaussianRBM(8, **kwargs).fit_transform(gaussian_data)
+        features32 = GaussianRBM(8, dtype="float32", **kwargs).fit_transform(
+            gaussian_data
+        )
+        np.testing.assert_allclose(features64, features32, atol=1e-3)
+
+    def test_sls_supervised_float32(self, gaussian_data):
+        labels = np.repeat(np.arange(3), 60)
+        supervision = LocalSupervision.from_labels(labels)
+        model = SlsGRBM(
+            8, n_epochs=2, dtype="float32", random_state=0,
+            supervision_learning_rate=1e-3,
+        )
+        model.fit(gaussian_data, supervision=supervision)
+        assert model.weights_.dtype == np.float32
+        assert np.isfinite(model.supervision_loss())
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            BernoulliRBM(4, dtype="int32")
+        with pytest.raises(ValidationError):
+            FrameworkConfig(dtype="float16")
+
+
+class TestDtypePersistence:
+    def test_model_round_trip_preserves_dtype(self, gaussian_data, tmp_path):
+        model = GaussianRBM(8, n_epochs=2, dtype="float32", random_state=0)
+        model.fit(gaussian_data)
+        save_model(model, tmp_path / "m32")
+        loaded = load_model(tmp_path / "m32")
+        assert loaded.dtype == np.dtype(np.float32)
+        assert loaded.weights_.dtype == np.float32
+        np.testing.assert_array_equal(
+            model.transform(gaussian_data), loaded.transform(gaussian_data)
+        )
+
+    def test_framework_round_trip_preserves_dtype(self, gaussian_data, tmp_path):
+        config = FrameworkConfig(
+            model="grbm", n_hidden=8, n_epochs=2, dtype="float32", random_state=0
+        )
+        framework = SelfLearningEncodingFramework(config, n_clusters=3)
+        framework.fit(gaussian_data)
+        assert framework.model_.weights_.dtype == np.float32
+        save_framework(framework, tmp_path / "f32")
+        loaded = load_framework(tmp_path / "f32")
+        assert loaded.config.dtype == "float32"
+        np.testing.assert_array_equal(
+            framework.transform(gaussian_data), loaded.transform(gaussian_data)
+        )

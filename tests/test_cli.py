@@ -99,6 +99,53 @@ class TestEvaluate:
             assert metric in out
 
 
+class TestEvaluateGrid:
+    def test_grid_mode_prints_table(self, capsys):
+        code = main([
+            "evaluate", "--grid",
+            "--suite", "uci", "--dataset", "IR", "--scale", "0.4",
+            "--algorithms", "DP,K-means", "--repeats", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DP" in out and "K-means" in out
+        assert "n_jobs=1" in out
+
+    def test_grid_mode_parallel_multiple_datasets(self, capsys):
+        code = main([
+            "evaluate", "--grid",
+            "--suite", "uci", "--dataset", "IR,SH", "--scale", "0.3",
+            "--algorithms", "DP,K-means", "--n-jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n_jobs=2" in out
+
+    def test_missing_artifact_without_grid_is_an_error(self, capsys):
+        code = main(["evaluate", "--suite", "uci", "--dataset", "IR"])
+        assert code == 1
+        assert "--artifact" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_training.json"
+        code = main(["bench", "--smoke", "--out", str(out), "--n-jobs", "2"])
+        assert code == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "training"
+        assert payload["smoke"] is True
+        results = payload["results"]
+        for section in ("gradient_kernel", "sls_epoch", "density_peaks",
+                        "runner_scaling"):
+            assert section in results
+        assert results["gradient_kernel"]["speedup"] > 0
+        assert results["density_peaks"]["labels_identical"] is True
+        assert "benchmark report written" in capsys.readouterr().out
+
+
 class TestInfo:
     def test_summary(self, artifact, capsys):
         assert main(["info", "--artifact", str(artifact)]) == 0
