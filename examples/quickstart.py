@@ -1,10 +1,14 @@
 """Quickstart: cluster a web-image-like dataset on slsGRBM features.
 
-Loads a reduced-size MSRA-MM 2.0 analogue (datasets I), builds the full
-self-learning local supervision pipeline with one configuration object, and
-compares Density Peaks clustering on the raw descriptors against the same
-clusterer on plain GRBM features and on slsGRBM features — the comparison at
-the heart of the paper.
+Loads a reduced-size MSRA-MM 2.0 analogue (datasets I) and compares Density
+Peaks clustering on the raw descriptors against the same clusterer on plain
+GRBM features and on slsGRBM features — the comparison at the heart of the
+paper.  Everything is built through the component registry: one JSON-friendly
+spec per algorithm cell, instantiated with ``registry.build``.
+
+(The pre-registry style — constructing ``FrameworkConfig`` and
+``SelfLearningEncodingFramework`` by hand — still works; see the migration
+note in the README.)
 
 Run with:  python examples/quickstart.py
 """
@@ -13,12 +17,34 @@ from __future__ import annotations
 
 import warnings
 
-from repro import FrameworkConfig, SelfLearningEncodingFramework
+from repro import registry
 from repro.clustering import DensityPeaks
 from repro.datasets import load_msra_mm_dataset
 from repro.metrics import evaluate_clustering
 
 warnings.filterwarnings("ignore")
+
+
+def framework_spec(model: str, n_clusters: int) -> dict:
+    """Registry spec of one encoding framework (shared hyper-parameters)."""
+    return {
+        "kind": "framework",
+        "type": "framework",
+        "params": {
+            "config": {
+                "model": model,
+                "n_hidden": 48,
+                "eta": 0.4,
+                "learning_rate": 1e-4,
+                "n_epochs": 30,
+                "batch_size": 64,
+                "preprocessing": "standardize",
+                "random_state": 0,
+                "extra": {"supervision_learning_rate": 8e-3},
+            },
+            "n_clusters": n_clusters,
+        },
+    }
 
 
 def main() -> None:
@@ -32,24 +58,20 @@ def main() -> None:
     raw_labels = DensityPeaks(dataset.n_classes).fit_predict(dataset.data)
     reports["DP (raw data)"] = evaluate_clustering(dataset.labels, raw_labels)
 
-    # --- plain GRBM and slsGRBM features ---------------------------------------
+    # --- plain GRBM and slsGRBM features, as encode -> cluster pipelines -------
     for model, label in (("grbm", "DP + GRBM"), ("sls_grbm", "DP + slsGRBM")):
-        config = FrameworkConfig(
-            model=model,
-            n_hidden=48,
-            eta=0.4,
-            learning_rate=1e-4,
-            n_epochs=30,
-            batch_size=64,
-            preprocessing="standardize",
-            random_state=0,
-            extra={"supervision_learning_rate": 8e-3},
-        )
-        framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
-        features = framework.fit_transform(dataset.data)
-        if framework.supervision_ is not None:
+        pipeline = registry.build({
+            "type": "pipeline",
+            "params": {"steps": [
+                ["encode", framework_spec(model, dataset.n_classes)],
+                ["cluster", {"type": "dp",
+                             "params": {"n_clusters": dataset.n_classes}}],
+            ]},
+        })
+        labels = pipeline.fit_predict(dataset.data)
+        framework = pipeline["encode"]
+        if getattr(framework, "supervision_", None) is not None:
             print(f"local supervision ({label}): {framework.supervision_}")
-        labels = DensityPeaks(dataset.n_classes).fit_predict(features)
         reports[label] = evaluate_clustering(dataset.labels, labels)
 
     # --- comparison -------------------------------------------------------------

@@ -15,6 +15,16 @@ artifact bundles, :mod:`repro.serving` loads them into an
 counters), and ``python -m repro`` drives the whole lifecycle from the shell
 (see :mod:`repro.cli`).
 
+Every public component implements one estimator protocol
+(:mod:`repro.core.estimator`: ``get_params`` / ``set_params`` / ``clone`` /
+``is_fitted``) and is addressable through the declarative component registry
+(:mod:`repro.registry`), where any configured estimator — including N-step
+:class:`Pipeline` chains with stacked encoders — is expressible as a nested
+JSON spec shared by configs, artifact manifests and experiment grids::
+
+    from repro import registry
+    clusterer = registry.build({"type": "kmeans", "params": {"n_clusters": 3}})
+
 Quickstart
 ----------
 >>> from repro import FrameworkConfig, SelfLearningEncodingFramework
@@ -32,11 +42,13 @@ Quickstart
 True
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
+from repro import registry
 from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
+from repro.core.estimator import EstimatorMixin, clone
 from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
-from repro.core.pipeline import ClusteringPipeline, PipelineResult
+from repro.core.pipeline import ClusteringPipeline, Pipeline, PipelineResult
 from repro.persistence import load_framework, load_model, save_framework, save_model
 from repro.rbm import BernoulliRBM, GaussianRBM, SlsGRBM, SlsRBM
 from repro.serving import EncodingService
@@ -44,13 +56,17 @@ from repro.supervision import LocalSupervision, MultiClusteringIntegration
 
 __all__ = [
     "__version__",
+    "registry",
     "FrameworkConfig",
     "GRBM_PAPER_CONFIG",
     "RBM_PAPER_CONFIG",
     "SelfLearningEncodingFramework",
     "EncodingResult",
     "ClusteringPipeline",
+    "Pipeline",
     "PipelineResult",
+    "EstimatorMixin",
+    "clone",
     "BernoulliRBM",
     "GaussianRBM",
     "SlsRBM",

@@ -40,11 +40,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import registry
 from repro.exceptions import ReproError, ValidationError
 
 __all__ = ["main", "build_parser"]
 
-_MODEL_CHOICES = ("sls_grbm", "sls_rbm", "grbm", "rbm")
+#: Model choices come from the component registry, so a newly registered
+#: encoder appears in the CLI without touching this module.
+_MODEL_CHOICES = registry.available("model")
 #: Paper preprocessing per model kind (Section V.B), used for --preprocessing auto.
 _AUTO_PREPROCESSING = {
     "sls_grbm": "standardize",
@@ -107,32 +110,70 @@ def _save_output_matrix(path: str, features: np.ndarray) -> None:
 
 
 # ------------------------------------------------------------------ commands
+def _read_spec(value: str) -> dict:
+    """Parse a registry spec given inline as JSON or as an ``@file`` path."""
+    if value.startswith("@"):
+        try:
+            text = Path(value[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValidationError(f"cannot read --spec file {value[1:]!r}: {exc}") from exc
+    else:
+        text = value
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"--spec is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise ValidationError("--spec must be a JSON object with a 'type' entry")
+    return spec
+
+
+def _framework_spec(args: argparse.Namespace, n_clusters: int) -> dict:
+    """Registry spec assembled from the train subcommand's flags."""
+    preprocessing = (
+        # Paper preprocessing for the four paper models; any newly registered
+        # model defaults to standardisation until it declares its own.
+        _AUTO_PREPROCESSING.get(args.model, "standardize")
+        if args.preprocessing == "auto"
+        else args.preprocessing
+    )
+    config = {
+        "model": args.model,
+        "n_hidden": args.n_hidden,
+        "eta": args.eta,
+        "learning_rate": args.learning_rate,
+        "n_epochs": args.epochs,
+        "batch_size": args.batch_size,
+        "preprocessing": preprocessing,
+        "supervision_preprocessing": "standardize"
+        if preprocessing == "median_binarize"
+        else None,
+        "dtype": args.dtype,
+        "random_state": args.seed,
+    }
+    return {
+        "kind": "framework",
+        "type": "framework",
+        "params": {"config": config, "n_clusters": n_clusters},
+    }
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core.config import FrameworkConfig
     from repro.core.framework import SelfLearningEncodingFramework
     from repro.persistence import save_framework
 
     dataset = _load_dataset(args)
-    preprocessing = (
-        _AUTO_PREPROCESSING[args.model]
-        if args.preprocessing == "auto"
-        else args.preprocessing
+    spec = (
+        _read_spec(args.spec)
+        if args.spec is not None
+        else _framework_spec(args, dataset.n_classes)
     )
-    config = FrameworkConfig(
-        model=args.model,
-        n_hidden=args.n_hidden,
-        eta=args.eta,
-        learning_rate=args.learning_rate,
-        n_epochs=args.epochs,
-        batch_size=args.batch_size,
-        preprocessing=preprocessing,
-        supervision_preprocessing="standardize"
-        if preprocessing == "median_binarize"
-        else None,
-        dtype=args.dtype,
-        random_state=args.seed,
-    )
-    framework = SelfLearningEncodingFramework(config, n_clusters=dataset.n_classes)
+    framework = registry.build(spec, kind="framework")
+    if not isinstance(framework, SelfLearningEncodingFramework):
+        raise ValidationError(
+            f"--spec built a {type(framework).__name__}; train expects a framework"
+        )
+    config = framework.config
     framework.fit(dataset.data)
     bundle = save_framework(framework, args.out)
 
@@ -180,14 +221,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         return _cmd_evaluate_grid(args)
     if args.artifact is None:
         raise ValidationError("evaluate needs --artifact (or --grid for a grid run)")
-    from repro.clustering.registry import make_clusterer
     from repro.metrics.report import evaluate_clustering
     from repro.persistence import load_framework
 
     dataset = _load_dataset(args)
     framework = load_framework(args.artifact)
     features = framework.transform(dataset.data)
-    clusterer = make_clusterer(
+    clusterer = registry.build_clusterer(
         args.clusterer, dataset.n_classes, random_state=args.seed
     )
     labels = clusterer.fit_predict(features)
@@ -293,6 +333,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"framework:      model={config.get('model')}, "
               f"preprocessing={config.get('preprocessing')}, "
               f"n_clusters={framework.get('n_clusters')}")
+    spec = manifest.get("spec")
+    if spec:
+        print(f"spec:           {json.dumps(spec, sort_keys=True)}")
     supervision = model.get("supervision")
     if supervision:
         print(f"supervision:    {supervision.get('n_samples')} samples, "
@@ -332,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="model compute/storage precision (float32 halves memory traffic)",
     )
     train.add_argument("--seed", type=int, default=0, help="training seed")
+    train.add_argument(
+        "--spec",
+        help="registry spec of the framework as inline JSON or @file; "
+             "overrides the individual model flags "
+             '(e.g. \'{"type": "framework", "params": {...}}\')',
+    )
     train.add_argument("--out", required=True, help="artifact bundle directory")
     train.set_defaults(func=_cmd_train)
 

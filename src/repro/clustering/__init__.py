@@ -12,12 +12,14 @@ from repro.clustering.base import BaseClusterer
 from repro.clustering.density_peaks import DensityPeaks
 from repro.clustering.hierarchical import AgglomerativeClustering
 from repro.clustering.kmeans import KMeans
+from repro.clustering.minibatch_kmeans import MiniBatchKMeans
 from repro.clustering.registry import available_clusterers, make_clusterer
 from repro.clustering.spectral import SpectralClustering
 
 __all__ = [
     "BaseClusterer",
     "KMeans",
+    "MiniBatchKMeans",
     "AffinityPropagation",
     "DensityPeaks",
     "AgglomerativeClustering",

@@ -27,7 +27,20 @@ class AffinityPropagation(BaseClusterer):
     Parameters
     ----------
     damping : float, default 0.7
-        Message damping factor in ``[0.5, 1)``.
+        Message damping factor in ``[0.5, 1)`` (the starting value when a
+        schedule is active).
+    damping_schedule : {"constant", "adaptive"}, default "constant"
+        ``"adaptive"`` raises the damping by ``damping_increment`` whenever a
+        full convergence window passes with the exemplar set still
+        oscillating, up to ``max_damping``.  Oscillation — not slow drift —
+        is the classic AP failure mode that otherwise runs straight into
+        ``max_iter``; heavier damping settles it at the cost of slower
+        message updates, so paying it only when needed keeps the common case
+        fast.
+    damping_increment : float, default 0.05
+        Step the adaptive schedule adds per stalled window.
+    max_damping : float, default 0.95
+        Ceiling of the adaptive schedule.
     max_iter : int, default 200
         Maximum number of message-passing iterations.
     convergence_iter : int, default 15
@@ -51,12 +64,18 @@ class AffinityPropagation(BaseClusterer):
         Indices of the exemplar samples.
     n_iter_ : int
     converged_ : bool
+    final_damping_ : float
+        Damping in effect when message passing stopped (equals ``damping``
+        for the constant schedule).
     """
 
     def __init__(
         self,
         *,
         damping: float = 0.7,
+        damping_schedule: str = "constant",
+        damping_increment: float = 0.05,
+        max_damping: float = 0.95,
         max_iter: int = 200,
         convergence_iter: int = 15,
         preference: float | None = None,
@@ -64,6 +83,20 @@ class AffinityPropagation(BaseClusterer):
         random_state=None,
     ) -> None:
         self.damping = check_in_range(damping, name="damping", low=0.5, high=0.999)
+        if damping_schedule not in ("constant", "adaptive"):
+            raise ValidationError(
+                "damping_schedule must be 'constant' or 'adaptive', got "
+                f"{damping_schedule!r}"
+            )
+        self.damping_schedule = damping_schedule
+        if damping_increment <= 0:
+            raise ValidationError(
+                f"damping_increment must be positive, got {damping_increment}"
+            )
+        self.damping_increment = float(damping_increment)
+        self.max_damping = check_in_range(
+            max_damping, name="max_damping", low=0.5, high=0.999
+        )
         self.max_iter = check_positive_int(max_iter, name="max_iter")
         self.convergence_iter = check_positive_int(
             convergence_iter, name="convergence_iter"
@@ -100,7 +133,7 @@ class AffinityPropagation(BaseClusterer):
         else:
             preference = median_preference
 
-        labels, exemplars, n_iter, converged = self._message_passing(
+        labels, exemplars, n_iter, converged, final_damping = self._message_passing(
             similarity, preference
         )
         self.preference_ = float(preference)
@@ -108,9 +141,17 @@ class AffinityPropagation(BaseClusterer):
         self.cluster_centers_indices_ = exemplars
         self.n_iter_ = n_iter
         self.converged_ = converged
+        self.final_damping_ = final_damping
         if not converged:
+            hint = (
+                "the adaptive damping schedule already reached "
+                f"damping={final_damping:.2f}; raise max_iter or max_damping"
+                if self.damping_schedule == "adaptive"
+                else "consider damping_schedule='adaptive' or a larger damping"
+            )
             warnings.warn(
-                "AffinityPropagation did not converge; results may be unstable",
+                f"AffinityPropagation hit max_iter={self.max_iter} without the "
+                f"exemplar set converging; results may be unstable ({hint})",
                 ConvergenceWarning,
             )
 
@@ -125,7 +166,7 @@ class AffinityPropagation(BaseClusterer):
         best_gap = np.inf
         for _ in range(6):
             mid = 0.5 * (low + high)
-            labels, exemplars, _, _ = self._message_passing(similarity, mid)
+            labels, exemplars, _, _, _ = self._message_passing(similarity, mid)
             n_found = exemplars.shape[0]
             gap = abs(n_found - target)
             if gap < best_gap:
@@ -143,7 +184,7 @@ class AffinityPropagation(BaseClusterer):
 
     def _message_passing(
         self, similarity: np.ndarray, preference: float
-    ) -> tuple[np.ndarray, np.ndarray, int, bool]:
+    ) -> tuple[np.ndarray, np.ndarray, int, bool, float]:
         n_samples = similarity.shape[0]
         s = similarity.copy()
         np.fill_diagonal(s, preference)
@@ -153,6 +194,8 @@ class AffinityPropagation(BaseClusterer):
         exemplar_history = np.zeros((self.convergence_iter, n_samples), dtype=bool)
         converged = False
         iteration = 0
+        damping = self.damping
+        damping_ceiling = max(self.damping, self.max_damping)
 
         index = np.arange(n_samples)
         for iteration in range(1, self.max_iter + 1):
@@ -168,8 +211,7 @@ class AffinityPropagation(BaseClusterer):
                 s[index, first_max_idx] - second_max
             )
             responsibility = (
-                self.damping * responsibility
-                + (1.0 - self.damping) * new_responsibility
+                damping * responsibility + (1.0 - damping) * new_responsibility
             )
 
             # --- availabilities ---------------------------------------------------
@@ -181,7 +223,7 @@ class AffinityPropagation(BaseClusterer):
             new_availability = np.minimum(new_availability, 0.0)
             np.fill_diagonal(new_availability, diagonal)
             availability = (
-                self.damping * availability + (1.0 - self.damping) * new_availability
+                damping * availability + (1.0 - damping) * new_availability
             )
 
             # --- convergence check ------------------------------------------------
@@ -192,6 +234,15 @@ class AffinityPropagation(BaseClusterer):
                 if stable and exemplars_mask.any():
                     converged = True
                     break
+                if (
+                    self.damping_schedule == "adaptive"
+                    and damping < damping_ceiling
+                    and iteration % self.convergence_iter == 0
+                    and np.any(exemplar_history != exemplar_history[0])
+                ):
+                    # The exemplar set flipped within the whole window:
+                    # oscillation, not drift — damp the messages harder.
+                    damping = min(damping + self.damping_increment, damping_ceiling)
 
         exemplars = np.flatnonzero(
             (availability + responsibility).diagonal() > 0
@@ -205,4 +256,4 @@ class AffinityPropagation(BaseClusterer):
 
         assignment = np.argmax(s[:, exemplars], axis=1)
         assignment[exemplars] = np.arange(exemplars.shape[0])
-        return assignment.astype(int), exemplars, iteration, converged
+        return assignment.astype(int), exemplars, iteration, converged, damping

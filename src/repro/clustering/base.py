@@ -11,18 +11,21 @@ import abc
 
 import numpy as np
 
+from repro.core.estimator import EstimatorMixin
 from repro.exceptions import NotFittedError
 from repro.utils.validation import check_array
 
 __all__ = ["BaseClusterer"]
 
 
-class BaseClusterer(abc.ABC):
+class BaseClusterer(EstimatorMixin, abc.ABC):
     """Abstract base class for clustering estimators.
 
     Subclasses implement :meth:`_fit` which must set ``labels_`` (an integer
     vector of cluster assignments) and may set additional fitted attributes
-    (cluster centres, exemplars, ...).
+    (cluster centres, exemplars, ...).  Through :class:`EstimatorMixin`
+    every clusterer also implements the shared estimator protocol
+    (``get_params`` / ``set_params`` / ``clone`` / ``is_fitted``).
     """
 
     #: set by :meth:`fit`; integer cluster assignment per sample
@@ -56,8 +59,13 @@ class BaseClusterer(abc.ABC):
         self._check_fitted()
         return int(np.unique(self.labels_).shape[0])
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has produced a cluster assignment."""
+        return hasattr(self, "labels_")
+
     def _check_fitted(self) -> None:
-        if not hasattr(self, "labels_"):
+        if not self.is_fitted:
             raise NotFittedError(
                 f"{type(self).__name__} instance is not fitted yet; call fit() first"
             )

@@ -1,0 +1,146 @@
+"""Mini-batch K-means (Sculley, WWW 2010) for large-sample clustering.
+
+A streaming variant of Lloyd's algorithm: each iteration samples a small
+batch, assigns it to the nearest centres and moves those centres by a
+per-centre learning rate ``1 / count``.  Memory stays bounded by the batch
+size, which makes it the clusterer of choice when the full ``n x n`` or
+``n x k`` sweeps of the exact algorithms no longer fit — the serving-scale
+counterpart of :class:`repro.clustering.kmeans.KMeans`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.clustering.kmeans import kmeans_plus_plus
+from repro.exceptions import ValidationError
+from repro.utils.numerics import pairwise_squared_distances
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MiniBatchKMeans"]
+
+
+class MiniBatchKMeans(BaseClusterer):
+    """K-means on random mini-batches with per-centre learning rates.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of clusters ``K``.
+    batch_size : int, default 256
+        Samples drawn per update step (clipped to ``n_samples``).
+    max_iter : int, default 100
+        Number of mini-batch update steps.
+    n_init : int, default 3
+        Random restarts; the run with the lowest final inertia is kept.
+    reassignment_ratio : float, default 0.01
+        Centres whose assignment count falls below this fraction of the
+        largest count are re-seeded at a random sample, keeping all ``K``
+        clusters alive.
+    random_state : int, Generator or None
+        Seed for initialisation and batch sampling.
+
+    Attributes
+    ----------
+    labels_ : ndarray of shape (n_samples,)
+    cluster_centers_ : ndarray of shape (n_clusters, n_features)
+    inertia_ : float
+        Within-cluster sum of squared distances of the final full assignment.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        batch_size: int = 256,
+        max_iter: int = 100,
+        n_init: int = 3,
+        reassignment_ratio: float = 0.01,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.batch_size = check_positive_int(batch_size, name="batch_size")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.n_init = check_positive_int(n_init, name="n_init")
+        if not 0.0 <= reassignment_ratio <= 1.0:
+            raise ValidationError(
+                f"reassignment_ratio must lie in [0, 1], got {reassignment_ratio}"
+            )
+        self.reassignment_ratio = float(reassignment_ratio)
+        self.random_state = random_state
+
+    @property
+    def name(self) -> str:
+        return "MiniBatchKMeans"
+
+    def _fit(self, data: np.ndarray) -> None:
+        n_samples = data.shape[0]
+        if self.n_clusters > n_samples:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n_samples}"
+            )
+        rng = check_random_state(self.random_state)
+        batch_size = min(self.batch_size, n_samples)
+
+        best_inertia = np.inf
+        best_centers = None
+        best_labels = None
+        for _ in range(self.n_init):
+            centers = self._single_run(data, batch_size, rng)
+            distances = pairwise_squared_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            inertia = float(
+                distances[np.arange(n_samples), labels].sum()
+            )
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best_centers = centers
+                best_labels = labels
+
+        self.labels_ = best_labels
+        self.cluster_centers_ = best_centers
+        self.inertia_ = float(best_inertia)
+
+    def _single_run(
+        self, data: np.ndarray, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_samples = data.shape[0]
+        centers = kmeans_plus_plus(data, self.n_clusters, rng)
+        counts = np.zeros(self.n_clusters, dtype=float)
+        one_hot = np.zeros((batch_size, self.n_clusters), dtype=data.dtype)
+        batch_rows = np.arange(batch_size)
+        for _ in range(self.max_iter):
+            batch = data[rng.integers(n_samples, size=batch_size)]
+            assignment = np.argmin(
+                pairwise_squared_distances(batch, centers), axis=1
+            )
+            batch_counts = np.bincount(assignment, minlength=self.n_clusters)
+            counts += batch_counts
+            # Per-centre gradient step towards the batch mean with learning
+            # rate 1/count (the streaming average of Sculley's update), as
+            # one one-hot matmul instead of a Python loop over clusters —
+            # the same vectorisation as the exact KMeans centroid update.
+            one_hot[:] = 0.0
+            one_hot[batch_rows, assignment] = 1.0
+            sums = one_hot.T @ batch
+            hit = batch_counts > 0
+            means = sums[hit] / batch_counts[hit, None]
+            rate = (batch_counts[hit] / counts[hit])[:, None]
+            centers[hit] += rate * (means - centers[hit])
+            if self.reassignment_ratio > 0 and counts.max() > 0:
+                starved = counts < self.reassignment_ratio * counts.max()
+                n_starved = int(starved.sum())
+                if n_starved:
+                    picks = rng.integers(n_samples, size=n_starved)
+                    centers[starved] = data[picks]
+                    counts[starved] = counts.max() * self.reassignment_ratio
+        return centers
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new samples to the nearest fitted centre."""
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        distances = pairwise_squared_distances(data, self.cluster_centers_)
+        return np.argmin(distances, axis=1)

@@ -1,69 +1,44 @@
-"""Factory helpers mapping short algorithm names to clusterer instances.
+"""Deprecated clusterer factory — superseded by :mod:`repro.registry`.
 
-The experiment harness describes the paper's algorithm grid with the short
-names used in the tables ("DP", "K-means", "AP"); this registry turns those
-names into configured estimator objects.
+This module predates the unified component registry; it is kept as a thin
+shim so existing imports and call signatures keep working.  New code should
+use::
+
+    from repro import registry
+    registry.build({"type": "kmeans", "params": {"n_clusters": 3}})
+    registry.build_clusterer("ap", 3, random_state=0)
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
-from repro.clustering.affinity_propagation import AffinityPropagation
 from repro.clustering.base import BaseClusterer
-from repro.clustering.density_peaks import DensityPeaks
-from repro.clustering.hierarchical import AgglomerativeClustering
-from repro.clustering.kmeans import KMeans
-from repro.clustering.spectral import SpectralClustering
-from repro.exceptions import ValidationError
+from repro.registry import available as _available
+from repro.registry import build_clusterer as _build_clusterer
 
 __all__ = ["make_clusterer", "available_clusterers"]
 
-_FACTORIES: dict[str, Callable[..., BaseClusterer]] = {
-    "kmeans": lambda n_clusters, random_state=None: KMeans(
-        n_clusters, random_state=random_state
-    ),
-    "k-means": lambda n_clusters, random_state=None: KMeans(
-        n_clusters, random_state=random_state
-    ),
-    "ap": lambda n_clusters, random_state=None: AffinityPropagation(
-        target_n_clusters=n_clusters, random_state=random_state
-    ),
-    "affinity_propagation": lambda n_clusters, random_state=None: AffinityPropagation(
-        target_n_clusters=n_clusters, random_state=random_state
-    ),
-    "dp": lambda n_clusters, random_state=None: DensityPeaks(n_clusters),
-    "density_peaks": lambda n_clusters, random_state=None: DensityPeaks(n_clusters),
-    "agglomerative": lambda n_clusters, random_state=None: AgglomerativeClustering(
-        n_clusters
-    ),
-    "spectral": lambda n_clusters, random_state=None: SpectralClustering(
-        n_clusters, random_state=random_state
-    ),
-}
-
 
 def available_clusterers() -> tuple[str, ...]:
-    """Canonical short names accepted by :func:`make_clusterer`."""
-    return ("dp", "kmeans", "ap", "agglomerative", "spectral")
+    """Canonical short names accepted by :func:`make_clusterer`.
+
+    Deprecated alias of ``repro.registry.available("clusterer")``.
+    """
+    return _available("clusterer")
 
 
 def make_clusterer(name: str, n_clusters: int, *, random_state=None) -> BaseClusterer:
     """Instantiate a clusterer from its short name.
 
-    Parameters
-    ----------
-    name : str
-        One of :func:`available_clusterers` (case insensitive; "k-means" and
-        "density_peaks"/"affinity_propagation" aliases are accepted).
-    n_clusters : int
-        Target number of clusters.
-    random_state : int, Generator or None
-        Seed forwarded to stochastic algorithms.
+    Deprecated alias of :func:`repro.registry.build_clusterer`; the component
+    registry additionally accepts full JSON specs via
+    :func:`repro.registry.build`.
     """
-    key = name.strip().lower()
-    if key not in _FACTORIES:
-        raise ValidationError(
-            f"unknown clusterer {name!r}; available: {sorted(set(_FACTORIES))}"
-        )
-    return _FACTORIES[key](n_clusters, random_state=random_state)
+    warnings.warn(
+        "repro.clustering.registry.make_clusterer is deprecated; use "
+        "repro.registry.build_clusterer (or repro.registry.build with a spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_clusterer(name, n_clusters, random_state=random_state)

@@ -1,8 +1,15 @@
 """End-to-end public API of the self-learning local supervision framework."""
 
 from repro.core.config import FrameworkConfig, GRBM_PAPER_CONFIG, RBM_PAPER_CONFIG
+from repro.core.estimator import EstimatorMixin, clone
 from repro.core.framework import EncodingResult, SelfLearningEncodingFramework
-from repro.core.pipeline import ClusteringPipeline, PipelineResult
+from repro.core.pipeline import ClusteringPipeline, Pipeline, PipelineResult
+from repro.core.transformers import (
+    IdentityTransform,
+    MedianBinarize,
+    MinMaxScale,
+    Standardize,
+)
 
 __all__ = [
     "FrameworkConfig",
@@ -11,5 +18,12 @@ __all__ = [
     "SelfLearningEncodingFramework",
     "EncodingResult",
     "ClusteringPipeline",
+    "Pipeline",
     "PipelineResult",
+    "EstimatorMixin",
+    "clone",
+    "Standardize",
+    "MinMaxScale",
+    "MedianBinarize",
+    "IdentityTransform",
 ]

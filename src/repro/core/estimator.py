@@ -1,0 +1,221 @@
+"""The estimator protocol shared by every public component.
+
+Every encoder, clusterer, framework and pipeline in :mod:`repro` follows one
+small contract so that the component registry (:mod:`repro.registry`), the
+persistence layer and the serving layer can treat them uniformly:
+
+* constructor arguments are plain values stored under the same attribute
+  name (``KMeans(n_clusters=3).n_clusters == 3``);
+* :meth:`~EstimatorMixin.get_params` / :meth:`~EstimatorMixin.set_params`
+  expose those arguments as a dictionary (sklearn-style, with ``deep=True``
+  expanding nested estimators as ``name__param`` entries);
+* :meth:`~EstimatorMixin.clone` produces an unfitted copy with identical
+  parameters;
+* :attr:`~EstimatorMixin.is_fitted` reports whether the estimator holds
+  fitted state, and fitted-only attributes raise
+  :class:`~repro.exceptions.NotFittedError` before ``fit``.
+
+``EstimatorMixin`` implements the whole contract by introspecting the
+constructor signature, so concrete classes only need to keep the
+"store arguments under their own name" convention.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["EstimatorMixin", "clone", "is_estimator", "supports_transform"]
+
+
+def is_estimator(obj) -> bool:
+    """Whether ``obj`` implements the estimator protocol (duck-typed)."""
+    return (
+        hasattr(obj, "get_params")
+        and hasattr(obj, "set_params")
+        and hasattr(obj, "clone")
+        and hasattr(type(obj), "is_fitted")
+    )
+
+
+def supports_transform(obj) -> bool:
+    """Whether ``obj`` can act as an encoder step (``fit_transform`` +
+    ``transform``)."""
+    return hasattr(obj, "fit_transform") and hasattr(obj, "transform")
+
+
+def clone(estimator):
+    """Unfitted copy of ``estimator`` with identical parameters.
+
+    Functional counterpart of :meth:`EstimatorMixin.clone`; accepts any
+    object implementing the protocol.
+    """
+    if not hasattr(estimator, "clone"):
+        raise ValidationError(
+            f"{type(estimator).__name__} does not implement the estimator "
+            "protocol (no clone method)"
+        )
+    return estimator.clone()
+
+
+def _clone_value(value):
+    """Deep-copy a parameter value, cloning nested estimators."""
+    if is_estimator(value):
+        return value.clone()
+    if isinstance(value, (list, tuple)):
+        cloned = [_clone_value(item) for item in value]
+        return type(value)(cloned) if isinstance(value, tuple) else cloned
+    return copy.deepcopy(value)
+
+
+class EstimatorMixin:
+    """Default implementation of the estimator protocol.
+
+    Subclasses must store every constructor argument under an attribute of
+    the same name and keep fitted state in attributes with a trailing
+    underscore (``labels_``, ``weights_``, ...).
+    """
+
+    # ------------------------------------------------------------- parameters
+    @classmethod
+    def _get_param_names(cls) -> tuple[str, ...]:
+        """Constructor parameter names, collected across the MRO.
+
+        Walks ``__init__`` signatures from the most-derived class upwards;
+        classes that forward ``**kwargs`` pull in the parameters of their
+        parents (the sls models forward to the mixin and :class:`BaseRBM`).
+        """
+        names: list[str] = []
+        for klass in cls.__mro__:
+            init = vars(klass).get("__init__")
+            if init is None or klass is object:
+                continue
+            try:
+                signature = inspect.signature(init)
+            except (TypeError, ValueError):  # pragma: no cover - C extensions
+                continue
+            has_var_keyword = False
+            for parameter in signature.parameters.values():
+                if parameter.name == "self":
+                    continue
+                if parameter.kind in (
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    inspect.Parameter.KEYWORD_ONLY,
+                ):
+                    if parameter.name not in names:
+                        names.append(parameter.name)
+                elif parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                    has_var_keyword = True
+            if not has_var_keyword:
+                break
+        return tuple(names)
+
+    def _named_children(self) -> dict:
+        """Nested estimators exposed for ``deep`` parameter access.
+
+        The default looks for parameters whose value implements the protocol;
+        composite estimators (:class:`~repro.core.pipeline.Pipeline`) override
+        this to expose their named steps.
+        """
+        children = {}
+        for name in self._get_param_names():
+            value = getattr(self, name, None)
+            if is_estimator(value):
+                children[name] = value
+        return children
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Constructor parameters of this estimator.
+
+        Parameters
+        ----------
+        deep : bool, default True
+            Also include the parameters of nested estimators as
+            ``<child>__<param>`` entries.
+        """
+        params = {}
+        for name in self._get_param_names():
+            if not hasattr(self, name):
+                raise ValidationError(
+                    f"{type(self).__name__} does not store constructor "
+                    f"argument {name!r} as an attribute; the estimator "
+                    "protocol requires it"
+                )
+            params[name] = getattr(self, name)
+        if deep:
+            for child_name, child in self._named_children().items():
+                for key, value in child.get_params(deep=True).items():
+                    params[f"{child_name}__{key}"] = value
+        return params
+
+    def set_params(self, **params) -> "EstimatorMixin":
+        """Update constructor parameters in place.
+
+        Values pass through the constructor, so the usual validation and
+        coercion apply (``set_params(learning_rate=-1)`` raises exactly like
+        construction would).  ``<child>__<param>`` entries are routed to the
+        nested estimator's :meth:`set_params`.  Returns ``self``.
+        """
+        if not params:
+            return self
+        valid = set(self._get_param_names())
+        children = self._named_children()
+        nested: dict[str, dict] = {}
+        flat: dict = {}
+        for key, value in params.items():
+            if "__" in key:
+                child_name, _, sub_key = key.partition("__")
+                if child_name not in children:
+                    raise ValidationError(
+                        f"invalid parameter {key!r} for {type(self).__name__}: "
+                        f"no nested estimator named {child_name!r}"
+                    )
+                nested.setdefault(child_name, {})[sub_key] = value
+            elif key in valid:
+                flat[key] = value
+            else:
+                raise ValidationError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+        for child_name, child_params in nested.items():
+            children[child_name].set_params(**child_params)
+        if flat:
+            merged = self.get_params(deep=False)
+            merged.update(flat)
+            fresh = type(self)(**merged)
+            for name in self._get_param_names():
+                setattr(self, name, getattr(fresh, name))
+        return self
+
+    # ------------------------------------------------------------------ clone
+    def clone(self) -> "EstimatorMixin":
+        """Unfitted copy with identical (deep-copied) parameters."""
+        params = {
+            name: _clone_value(value)
+            for name, value in self.get_params(deep=False).items()
+        }
+        return type(self)(**params)
+
+    # ---------------------------------------------------------------- fitting
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the estimator holds fitted state.
+
+        The default checks for any public attribute with a trailing
+        underscore (the fitted-attribute convention); subclasses with a
+        well-known fitted attribute override this with a cheaper check.
+        """
+        return any(
+            key.endswith("_") and not key.startswith("_") for key in vars(self)
+        )
+
+    def _check_fitted(self) -> None:
+        """Raise :class:`NotFittedError` unless :attr:`is_fitted`."""
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} instance is not fitted yet; "
+                "call fit() first"
+            )

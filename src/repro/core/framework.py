@@ -19,12 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import FrameworkConfig
+from repro.core.estimator import EstimatorMixin
 from repro.datasets.preprocessing import median_binarize, minmax_scale, standardize
 from repro.exceptions import NotFittedError, SupervisionError, ValidationError
-from repro.rbm.grbm import GaussianRBM
-from repro.rbm.rbm import BernoulliRBM
-from repro.rbm.sls_grbm import SlsGRBM
-from repro.rbm.sls_rbm import SlsRBM
 from repro.supervision.ensemble import MultiClusteringIntegration
 from repro.supervision.local_supervision import LocalSupervision
 from repro.utils.validation import check_array, check_positive_int
@@ -53,16 +50,19 @@ class EncodingResult:
     config: FrameworkConfig
 
 
-class SelfLearningEncodingFramework:
+class SelfLearningEncodingFramework(EstimatorMixin):
     """End-to-end feature learner of the paper.
 
     Parameters
     ----------
-    config : FrameworkConfig
+    config : FrameworkConfig, dict or None
         Full hyper-parameter bundle; see
         :data:`repro.core.config.GRBM_PAPER_CONFIG` and
         :data:`repro.core.config.RBM_PAPER_CONFIG` for the paper's settings.
-    n_clusters : int
+        A plain dictionary (e.g. from a registry spec or an artifact
+        manifest) is converted with :meth:`FrameworkConfig.from_dict`;
+        ``None`` uses the default :class:`FrameworkConfig`.
+    n_clusters : int, default 2
         Number of clusters requested from the base clusterers (the paper uses
         the ground-truth class count of each dataset).
 
@@ -79,10 +79,17 @@ class SelfLearningEncodingFramework:
     16
     """
 
-    def __init__(self, config: FrameworkConfig, n_clusters: int) -> None:
-        if not isinstance(config, FrameworkConfig):
+    def __init__(
+        self, config: FrameworkConfig | dict | None = None, n_clusters: int = 2
+    ) -> None:
+        if config is None:
+            config = FrameworkConfig()
+        elif isinstance(config, dict):
+            config = FrameworkConfig.from_dict(config)
+        elif not isinstance(config, FrameworkConfig):
             raise ValidationError(
-                f"config must be a FrameworkConfig, got {type(config).__name__}"
+                f"config must be a FrameworkConfig, a dict or None, "
+                f"got {type(config).__name__}"
             )
         self.config = config
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
@@ -120,10 +127,12 @@ class SelfLearningEncodingFramework:
         )
         return integration.fit_supervision(preprocessed)
 
-    def build_model(self):
-        """Instantiate the configured RBM variant (untrained)."""
+    def model_spec(self) -> dict:
+        """Registry spec of the configured RBM variant (see
+        :func:`repro.registry.build`)."""
         config = self.config
-        common = dict(
+        params = dict(
+            n_hidden=config.n_hidden,
             learning_rate=config.learning_rate,
             n_epochs=config.n_epochs,
             batch_size=config.batch_size,
@@ -135,16 +144,22 @@ class SelfLearningEncodingFramework:
         # exist on the sls models; forwarding them to the plain baselines
         # would be a TypeError, so they are split out here.
         sls_only_keys = {"supervision_learning_rate", "supervision_grad_clip"}
-        shared_extra = {k: v for k, v in config.extra.items() if k not in sls_only_keys}
-        sls_extra = {k: v for k, v in config.extra.items() if k in sls_only_keys}
-        common.update(shared_extra)
-        if config.model == "sls_grbm":
-            return SlsGRBM(config.n_hidden, eta=config.eta, **common, **sls_extra)
-        if config.model == "sls_rbm":
-            return SlsRBM(config.n_hidden, eta=config.eta, **common, **sls_extra)
-        if config.model == "grbm":
-            return GaussianRBM(config.n_hidden, **common)
-        return BernoulliRBM(config.n_hidden, **common)
+        params.update(
+            {k: v for k, v in config.extra.items() if k not in sls_only_keys}
+        )
+        if config.uses_supervision:
+            params["eta"] = config.eta
+            params.update(
+                {k: v for k, v in config.extra.items() if k in sls_only_keys}
+            )
+        return {"kind": "model", "type": config.model, "params": params}
+
+    def build_model(self):
+        """Instantiate the configured RBM variant (untrained) via the
+        component registry."""
+        from repro import registry  # local import: registry registers this class
+
+        return registry.build(self.model_spec())
 
     # --------------------------------------------------------------------- API
     def fit(self, data, supervision: LocalSupervision | None = None):

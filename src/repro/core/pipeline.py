@@ -1,25 +1,37 @@
-"""Clustering pipeline: feature learner -> downstream clusterer -> metrics.
+"""Composable pipelines: preprocess -> encode [-> encode ...] -> cluster.
 
-The paper's evaluation compares nine algorithms per dataset, each of the form
-"<clusterer>" (raw data), "<clusterer>+<plain model>" or
-"<clusterer>+<sls model>".  ``ClusteringPipeline`` expresses one such cell:
-an optional encoding framework followed by a downstream clusterer, evaluated
-with the external metrics.
+Two layers live here:
+
+* :class:`Pipeline` — the general N-step estimator.  Every step but the last
+  must be a transformer (``fit_transform`` / ``transform``); the final step
+  may be a clusterer (``fit_predict``) or another transformer, in which case
+  the pipeline itself is an encoder.  Steps are estimators following the
+  shared protocol, so a pipeline is buildable from a registry spec —
+  including *stacked* encoders (framework feeding framework), a scenario the
+  paper's architecture implies but the fixed two-stage pipeline could not
+  express.
+* :class:`ClusteringPipeline` — the paper-evaluation convenience wrapping
+  one cell of the result tables ("<clusterer>[+<model>]"): an optional
+  encoding framework, a freshly built downstream clusterer and the external
+  metrics.  It is implemented on top of :class:`Pipeline` and the component
+  registry.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.clustering.registry import make_clusterer
+from repro.core.estimator import EstimatorMixin, is_estimator, supports_transform
 from repro.core.framework import SelfLearningEncodingFramework
 from repro.datasets.base import Dataset
+from repro.exceptions import NotFittedError, ValidationError
 from repro.metrics.report import ClusteringReport, evaluate_clustering
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ClusteringPipeline", "PipelineResult"]
+__all__ = ["Pipeline", "ClusteringPipeline", "PipelineResult"]
 
 
 @dataclass(frozen=True)
@@ -44,7 +56,179 @@ class PipelineResult:
     report: ClusteringReport
 
 
-class ClusteringPipeline:
+def _accepts_supervision(estimator) -> bool:
+    """Whether ``estimator.fit`` takes a ``supervision`` keyword."""
+    try:
+        signature = inspect.signature(estimator.fit)
+    except (AttributeError, TypeError, ValueError):
+        return False
+    return "supervision" in signature.parameters
+
+
+class Pipeline(EstimatorMixin):
+    """Chain of estimator steps applied in sequence.
+
+    Parameters
+    ----------
+    steps : sequence
+        Estimators, or ``(name, estimator)`` pairs.  Unnamed steps are named
+        ``step<i>``.  All but the last step must be transformers; the final
+        step is either a clusterer (the pipeline then exposes
+        :meth:`fit_predict` and ``labels_``) or a transformer (the pipeline
+        is an encoder and :meth:`transform` runs every step).
+
+    Examples
+    --------
+    Stacked (deep) encoding from one registry spec::
+
+        from repro import registry
+        pipeline = registry.build({
+            "type": "pipeline",
+            "params": {"steps": [
+                ["first", {"type": "framework", "params": {...}}],
+                ["second", {"type": "framework", "params": {...}}],
+                ["cluster", {"type": "kmeans", "params": {"n_clusters": 3}}],
+            ]},
+        })
+        labels = pipeline.fit_predict(data)
+    """
+
+    def __init__(self, steps) -> None:
+        normalized: list[tuple[str, object]] = []
+        if is_estimator(steps):
+            steps = [steps]
+        for index, step in enumerate(steps):
+            if (
+                isinstance(step, (tuple, list))
+                and len(step) == 2
+                and isinstance(step[0], str)
+            ):
+                name, estimator = step
+            else:
+                name, estimator = f"step{index}", step
+            if not is_estimator(estimator):
+                raise ValidationError(
+                    f"pipeline step {name!r} does not implement the estimator "
+                    f"protocol: {type(estimator).__name__}"
+                )
+            if any(existing == name for existing, _ in normalized):
+                raise ValidationError(f"duplicate pipeline step name {name!r}")
+            normalized.append((name, estimator))
+        if not normalized:
+            raise ValidationError("a pipeline needs at least one step")
+        for name, estimator in normalized[:-1]:
+            if not supports_transform(estimator):
+                raise ValidationError(
+                    f"intermediate pipeline step {name!r} must be a "
+                    f"transformer; {type(estimator).__name__} has no transform"
+                )
+        self.steps = normalized
+
+    # ------------------------------------------------------------- introspection
+    @property
+    def named_steps(self) -> dict:
+        """Mapping of step name to estimator."""
+        return dict(self.steps)
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            return self.steps[key][1]
+        return self.named_steps[key]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def _named_children(self) -> dict:
+        return self.named_steps
+
+    @property
+    def final_step(self):
+        """The last estimator of the chain."""
+        return self.steps[-1][1]
+
+    @property
+    def is_clustering(self) -> bool:
+        """Whether the final step produces a cluster assignment."""
+        return hasattr(self.final_step, "fit_predict") and not supports_transform(
+            self.final_step
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        return hasattr(self, "n_features_in_")
+
+    # ------------------------------------------------------------------ fitting
+    def _fit_transformers(self, data, supervision):
+        features = data
+        for name, estimator in self.steps[:-1]:
+            if supervision is not None and _accepts_supervision(estimator):
+                features = estimator.fit_transform(features, supervision=supervision)
+                supervision = None  # consumed by the first supervised encoder
+            else:
+                features = estimator.fit_transform(features)
+        return features, supervision
+
+    def _fit(self, data, supervision) -> np.ndarray:
+        """Fit every step and return the output of the last transformer."""
+        data = np.asarray(data)
+        features, supervision = self._fit_transformers(data, supervision)
+        final = self.final_step
+        if hasattr(final, "fit_predict") and not supports_transform(final):
+            self.labels_ = final.fit_predict(features)
+        elif supervision is not None and _accepts_supervision(final):
+            features = final.fit_transform(features, supervision=supervision)
+        else:
+            features = final.fit_transform(features)
+        self.n_features_in_ = data.shape[1]
+        return features
+
+    def fit(self, data, *, supervision=None) -> "Pipeline":
+        """Fit every step in sequence.
+
+        ``supervision`` (a :class:`~repro.supervision.LocalSupervision`) is
+        forwarded to the first step whose ``fit`` accepts it — the encoding
+        frameworks — and computed internally by that step when omitted.
+        """
+        self._fit(data, supervision)
+        return self
+
+    def fit_predict(self, data, *, supervision=None) -> np.ndarray:
+        """Fit the pipeline and return the final clustering assignment."""
+        self._fit(data, supervision)
+        if not hasattr(self, "labels_"):
+            final = self.final_step
+            if not hasattr(final, "labels_"):
+                raise ValidationError(
+                    f"final pipeline step {type(final).__name__} does not "
+                    "produce a cluster assignment; use transform() instead"
+                )
+            self.labels_ = final.labels_
+        return self.labels_
+
+    def fit_transform(self, data, *, supervision=None) -> np.ndarray:
+        """Fit the pipeline and return the features after the last
+        transformer step (computed once, during the fit itself)."""
+        return self._fit(data, supervision)
+
+    def transform(self, data) -> np.ndarray:
+        """Push new data through every (fitted) transformer step."""
+        self._check_fitted()
+        features = np.asarray(data)
+        transform_steps = (
+            self.steps[:-1] if self.is_clustering else self.steps
+        )
+        for _, estimator in transform_steps:
+            features = estimator.transform(features)
+        return features
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"({name!r}, {type(est).__name__})" for name, est in self.steps
+        )
+        return f"Pipeline([{inner}])"
+
+
+class ClusteringPipeline(EstimatorMixin):
     """Evaluate one algorithm cell of the paper's tables.
 
     Parameters
@@ -65,14 +249,23 @@ class ClusteringPipeline:
         self,
         clusterer: str,
         *,
-        framework: SelfLearningEncodingFramework | None = None,
+        framework: SelfLearningEncodingFramework | dict | None = None,
         n_clusters: int,
         random_state: int | None = 0,
     ) -> None:
-        self.clusterer_name = str(clusterer)
+        self.clusterer = str(clusterer)
+        if isinstance(framework, dict):
+            from repro import registry  # local import to avoid a cycle
+
+            framework = registry.build(framework, kind="framework")
         self.framework = framework
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
         self.random_state = random_state
+
+    @property
+    def clusterer_name(self) -> str:
+        """Alias for :attr:`clusterer` (pre-protocol attribute name)."""
+        return self.clusterer
 
     @property
     def algorithm_name(self) -> str:
@@ -82,9 +275,10 @@ class ClusteringPipeline:
             "density_peaks": "DP",
             "kmeans": "K-means",
             "k-means": "K-means",
+            "minibatch_kmeans": "MB-K-means",
             "ap": "AP",
             "affinity_propagation": "AP",
-        }.get(self.clusterer_name.lower(), self.clusterer_name)
+        }.get(self.clusterer.lower(), self.clusterer)
         if self.framework is None:
             return base
         model = {
@@ -94,6 +288,18 @@ class ClusteringPipeline:
             "rbm": "RBM",
         }[self.framework.config.model]
         return f"{base}+{model}"
+
+    def build_clusterer(self):
+        """A fresh downstream clusterer built from the registry."""
+        from repro import registry  # local import to avoid a cycle
+
+        return registry.build_clusterer(
+            self.clusterer, self.n_clusters, random_state=self.random_state
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        return hasattr(self, "labels_")
 
     def run(
         self, dataset: Dataset, *, supervision=None, reuse_fitted: bool = False
@@ -119,16 +325,44 @@ class ClusteringPipeline:
         elif reuse_fitted and self.framework.is_fitted:
             features = self.framework.transform(dataset.data)
         else:
-            features = self.framework.fit_transform(dataset.data, supervision=supervision)
+            features = self.framework.fit_transform(
+                dataset.data, supervision=supervision
+            )
 
-        clusterer = make_clusterer(
-            self.clusterer_name, self.n_clusters, random_state=self.random_state
-        )
-        labels = clusterer.fit_predict(features)
+        labels = self.build_clusterer().fit_predict(features)
         report = evaluate_clustering(dataset.labels, labels)
+        self.labels_ = labels
         return PipelineResult(
             algorithm=self.algorithm_name,
             dataset=dataset.abbreviation,
             labels=labels,
             report=report,
         )
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Encode (fitting the framework if needed) and cluster ``data``.
+
+        The spec-built counterpart of :meth:`run` for unlabelled inputs:
+        returns only the assignment, computing no external metrics.
+        """
+        if self.framework is None:
+            features = np.asarray(data)
+        else:
+            features = self.framework.fit_transform(data)
+        self.labels_ = self.build_clusterer().fit_predict(features)
+        return self.labels_
+
+    def as_pipeline(self) -> Pipeline:
+        """This cell as a general :class:`Pipeline` (encode -> cluster)."""
+        steps: list[tuple[str, object]] = []
+        if self.framework is not None:
+            steps.append(("encode", self.framework))
+        steps.append(("cluster", self.build_clusterer()))
+        return Pipeline(steps)
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                "ClusteringPipeline has not produced labels yet; "
+                "call run() or fit_predict() first"
+            )

@@ -1,0 +1,117 @@
+"""Stateful preprocessing transformers for pipeline steps.
+
+The functions in :mod:`repro.datasets.preprocessing` compute their statistics
+from the array they are given, which is the right behaviour inside
+:class:`~repro.core.framework.SelfLearningEncodingFramework` (the paper
+preprocesses each dataset as a whole).  Pipeline steps need the *estimator*
+form of the same recipes: ``fit`` learns the statistics from the training
+data and ``transform`` applies them unchanged to new data, so a served
+pipeline preprocesses requests consistently with training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import EstimatorMixin
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array
+
+__all__ = ["Standardize", "MinMaxScale", "MedianBinarize", "IdentityTransform"]
+
+
+class _BaseTransformer(EstimatorMixin):
+    """Shared fit/transform plumbing for the preprocessing estimators."""
+
+    def fit(self, data) -> "_BaseTransformer":
+        data = check_array(data, name="data")
+        self._fit(data)
+        self.n_features_ = data.shape[1]
+        return self
+
+    def transform(self, data) -> np.ndarray:
+        self._check_fitted()
+        data = check_array(data, name="data")
+        if data.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"data has {data.shape[1]} features but the transformer was "
+                f"fitted with {self.n_features_}"
+            )
+        return self._transform(data)
+
+    def fit_transform(self, data) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    @property
+    def is_fitted(self) -> bool:
+        return hasattr(self, "n_features_")
+
+    def _fit(self, data: np.ndarray) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _transform(self, data: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Standardize(_BaseTransformer):
+    """Zero-mean, unit-variance scaling with training-set statistics.
+
+    Constant features (variance below ``epsilon``) are centred but not
+    scaled, matching :func:`repro.datasets.preprocessing.standardize`.
+    """
+
+    def __init__(self, *, epsilon: float = 1e-8) -> None:
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        self.scale_ = np.where(std < self.epsilon, 1.0, std)
+
+    def _transform(self, data: np.ndarray) -> np.ndarray:
+        return (data - self.mean_) / self.scale_
+
+
+class MinMaxScale(_BaseTransformer):
+    """Linear scaling of each feature to ``feature_range`` using training
+    minima/maxima; constant features map to the midpoint of the range."""
+
+    def __init__(self, *, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if high <= low:
+            raise ValidationError(f"invalid feature_range {feature_range!r}")
+        self.feature_range = (float(low), float(high))
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.min_ = data.min(axis=0)
+        span = data.max(axis=0) - self.min_
+        self.constant_ = span == 0
+        self.span_ = np.where(self.constant_, 1.0, span)
+
+    def _transform(self, data: np.ndarray) -> np.ndarray:
+        low, high = self.feature_range
+        scaled = (data - self.min_) / self.span_
+        scaled = np.where(self.constant_, 0.5, scaled)
+        return low + scaled * (high - low)
+
+
+class MedianBinarize(_BaseTransformer):
+    """Binarise each feature against its training-set median."""
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.median_ = np.median(data, axis=0)
+
+    def _transform(self, data: np.ndarray) -> np.ndarray:
+        return (data > self.median_).astype(float)
+
+
+class IdentityTransform(_BaseTransformer):
+    """Pass-through step (the ``"none"`` preprocessing as an estimator)."""
+
+    def _fit(self, data: np.ndarray) -> None:
+        pass
+
+    def _transform(self, data: np.ndarray) -> np.ndarray:
+        return data

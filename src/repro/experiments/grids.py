@@ -2,20 +2,22 @@
 
 Each table compares nine algorithms per dataset: three raw clusterers, the
 same three on plain RBM/GRBM features and the same three on slsRBM/slsGRBM
-features.  ``build_algorithm`` creates one such cell as a
+features.  ``algorithm_spec`` describes one such cell as a component-registry
+spec (the same nested-dict format used by configs and artifact bundles);
+``build_algorithm`` instantiates it as a
 :class:`repro.core.pipeline.ClusteringPipeline`.
 """
 
 from __future__ import annotations
 
-from repro.core.config import FrameworkConfig
-from repro.core.framework import SelfLearningEncodingFramework
+from repro import registry
 from repro.core.pipeline import ClusteringPipeline
 from repro.exceptions import ValidationError
 
 __all__ = [
     "DATASETS_I_ALGORITHMS",
     "DATASETS_II_ALGORITHMS",
+    "algorithm_spec",
     "build_algorithm",
     "build_algorithm_grid",
 ]
@@ -74,7 +76,7 @@ _MODEL_LEARNING_RATE = {
 }
 
 
-def build_algorithm(
+def algorithm_spec(
     name: str,
     n_clusters: int,
     *,
@@ -83,8 +85,12 @@ def build_algorithm(
     batch_size: int = 64,
     random_state: int | None = 0,
     config_overrides: dict | None = None,
-) -> ClusteringPipeline:
-    """Instantiate one algorithm cell from its table name (e.g. "DP+slsGRBM").
+) -> dict:
+    """Registry spec of one algorithm cell from its table name.
+
+    The returned dict is a full :func:`repro.registry.build` spec for a
+    :class:`ClusteringPipeline`, so a grid definition is a list of plain
+    JSON values — shareable with configs and artifact manifests.
 
     Parameters
     ----------
@@ -106,17 +112,18 @@ def build_algorithm(
         raise ValidationError(
             f"unknown clusterer {clusterer_label!r} in algorithm name {name!r}"
         )
-    clusterer_key = _CLUSTERER_KEYS[clusterer_label]
-
+    params: dict = {
+        "clusterer": _CLUSTERER_KEYS[clusterer_label],
+        "n_clusters": n_clusters,
+        "random_state": random_state,
+    }
     if len(parts) == 1:
-        return ClusteringPipeline(
-            clusterer_key, framework=None, n_clusters=n_clusters, random_state=random_state
-        )
+        return {"kind": "pipeline", "type": "clustering_pipeline", "params": params}
     if len(parts) != 2 or parts[1] not in _MODEL_KEYS:
         raise ValidationError(f"unknown algorithm name {name!r}")
 
     model_key = _MODEL_KEYS[parts[1]]
-    config_kwargs = dict(
+    config = dict(
         model=model_key,
         n_hidden=n_hidden,
         learning_rate=_MODEL_LEARNING_RATE[model_key],
@@ -126,21 +133,28 @@ def build_algorithm(
         random_state=random_state,
     )
     if model_key in _MODEL_ETA:
-        config_kwargs["eta"] = _MODEL_ETA[model_key]
+        config["eta"] = _MODEL_ETA[model_key]
     if model_key in _MODEL_SUPERVISION_PREPROCESSING:
-        config_kwargs["supervision_preprocessing"] = _MODEL_SUPERVISION_PREPROCESSING[
+        config["supervision_preprocessing"] = _MODEL_SUPERVISION_PREPROCESSING[
             model_key
         ]
     if config_overrides:
-        config_kwargs.update(config_overrides)
-    config = FrameworkConfig(**config_kwargs)
-    framework = SelfLearningEncodingFramework(config, n_clusters=n_clusters)
-    return ClusteringPipeline(
-        clusterer_key,
-        framework=framework,
-        n_clusters=n_clusters,
-        random_state=random_state,
-    )
+        config.update(config_overrides)
+    params["framework"] = {
+        "kind": "framework",
+        "type": "framework",
+        "params": {"config": config, "n_clusters": n_clusters},
+    }
+    return {"kind": "pipeline", "type": "clustering_pipeline", "params": params}
+
+
+def build_algorithm(name: str, n_clusters: int, **kwargs) -> ClusteringPipeline:
+    """Instantiate one algorithm cell from its table name (e.g. "DP+slsGRBM").
+
+    Equivalent to ``registry.build(algorithm_spec(name, n_clusters, ...))``;
+    see :func:`algorithm_spec` for the parameters.
+    """
+    return registry.build(algorithm_spec(name, n_clusters, **kwargs))
 
 
 def build_algorithm_grid(

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import registry
 from repro.datasets.base import Dataset, DatasetSuite
 from repro.exceptions import PersistenceError, ValidationError
 from repro.experiments.grids import build_algorithm
@@ -164,12 +165,61 @@ class _RepeatOutcome:
     supervision_entry: tuple | None
 
 
+def _build_spec_cell(spec: dict):
+    """Build a spec grid cell, insisting on a :class:`ClusteringPipeline`.
+
+    The general ``pipeline`` type shares the registry kind but has no
+    ``algorithm_name`` / per-cell seeding hooks, so it cannot serve as an
+    experiment cell.
+    """
+    from repro.core.pipeline import ClusteringPipeline
+
+    pipeline = registry.build(spec, kind="pipeline")
+    if not isinstance(pipeline, ClusteringPipeline):
+        raise ValidationError(
+            "experiment grid specs must build a clustering_pipeline, got "
+            f"{type(pipeline).__name__}; see repro.experiments.grids.algorithm_spec"
+        )
+    return pipeline
+
+
+def _build_cell_pipeline(
+    algorithm: str | dict, dataset: Dataset, repeat: int, settings: dict
+):
+    """Instantiate one cell, from a table name or a registry spec.
+
+    Spec cells get the same per-repeat seeding and per-dataset cluster count
+    as name cells, so the two grid formats produce identical experiments.
+    """
+    seed = settings["random_state"] + repeat
+    if isinstance(algorithm, dict):
+        pipeline = _build_spec_cell(algorithm)
+        pipeline.set_params(random_state=seed, n_clusters=dataset.n_classes)
+        framework = pipeline.framework
+        if framework is not None:
+            framework.set_params(
+                config=framework.config.with_overrides(random_state=seed),
+                n_clusters=dataset.n_classes,
+            )
+        return pipeline
+    return build_algorithm(
+        algorithm,
+        dataset.n_classes,
+        n_hidden=settings["n_hidden"],
+        n_epochs=settings["n_epochs"],
+        batch_size=settings["batch_size"],
+        random_state=seed,
+        config_overrides=settings["config_overrides"] or None,
+    )
+
+
 def _run_repeat(
     dataset: Dataset,
-    algorithm: str,
+    algorithm: str | dict,
     repeat: int,
     settings: dict,
     supervision_cache: dict,
+    label: str | None = None,
 ) -> _RepeatOutcome:
     """Evaluate one repeat of one cell.
 
@@ -180,19 +230,12 @@ def _run_repeat(
     """
     from repro.persistence import save_framework
 
-    pipeline = build_algorithm(
-        algorithm,
-        dataset.n_classes,
-        n_hidden=settings["n_hidden"],
-        n_epochs=settings["n_epochs"],
-        batch_size=settings["batch_size"],
-        random_state=settings["random_state"] + repeat,
-        config_overrides=settings["config_overrides"] or None,
-    )
+    pipeline = _build_cell_pipeline(algorithm, dataset, repeat, settings)
+    label = label if label is not None else str(algorithm)
     artifact_dir = settings["artifact_dir"]
     warm = None
     if pipeline.framework is not None and artifact_dir is not None:
-        bundle = _artifact_path(artifact_dir, dataset, algorithm, repeat)
+        bundle = _artifact_path(artifact_dir, dataset, label, repeat)
         warm = _load_warm_framework(bundle, pipeline.framework, dataset)
         if warm is not None:
             pipeline.framework = warm
@@ -221,7 +264,7 @@ def _run_repeat(
             supervision_entry = (key, framework.supervision_)
         if artifact_dir is not None:
             save_framework(
-                framework, _artifact_path(artifact_dir, dataset, algorithm, repeat)
+                framework, _artifact_path(artifact_dir, dataset, label, repeat)
             )
     return _RepeatOutcome(
         report=report,
@@ -233,8 +276,10 @@ def _run_repeat(
 
 def _run_repeat_task(payload: tuple) -> _RepeatOutcome:
     """Process-pool entry point: one repeat with a worker-local cache."""
-    dataset, algorithm, repeat, settings = payload
-    return _run_repeat(dataset, algorithm, repeat, settings, supervision_cache={})
+    dataset, algorithm, repeat, settings, label = payload
+    return _run_repeat(
+        dataset, algorithm, repeat, settings, supervision_cache={}, label=label
+    )
 
 
 class ExperimentRunner:
@@ -242,8 +287,14 @@ class ExperimentRunner:
 
     Parameters
     ----------
-    algorithm_names : tuple of str
-        Column names (paper convention, e.g. ``"DP+slsGRBM"``).
+    algorithm_names : tuple of str or dict
+        Grid cells: either column names in the paper convention
+        (e.g. ``"DP+slsGRBM"``) or full :func:`repro.registry.build` specs of
+        :class:`~repro.core.pipeline.ClusteringPipeline` cells (the format
+        produced by :func:`repro.experiments.grids.algorithm_spec`).  Spec
+        cells receive the same per-repeat seeding and per-dataset cluster
+        count as name cells; their column label is the pipeline's
+        ``algorithm_name``.
     n_repeats : int, default 1
         Repetitions per stochastic cell (different seeds); deterministic
         cells (DP on raw data) are still repeated for uniformity.
@@ -291,7 +342,16 @@ class ExperimentRunner:
     ) -> None:
         if not algorithm_names:
             raise ValidationError("algorithm_names must not be empty")
-        self.algorithm_names = tuple(algorithm_names)
+        self._algorithms: dict[str, str | dict] = {}
+        for entry in algorithm_names:
+            if isinstance(entry, dict):
+                label = _build_spec_cell(entry).algorithm_name
+            else:
+                label = str(entry)
+            if label in self._algorithms:
+                raise ValidationError(f"duplicate algorithm cell {label!r}")
+            self._algorithms[label] = entry
+        self.algorithm_names = tuple(self._algorithms)
         self.n_repeats = check_positive_int(n_repeats, name="n_repeats")
         self.n_hidden = check_positive_int(n_hidden, name="n_hidden")
         self.n_epochs = check_positive_int(n_epochs, name="n_epochs")
@@ -353,9 +413,15 @@ class ExperimentRunner:
         if self.n_jobs == 1 or len(pairs) * self.n_repeats == 1:
             cells = []
             for dataset, algorithm in pairs:
+                entry = self._algorithms.get(algorithm, algorithm)
                 outcomes = [
                     _run_repeat(
-                        dataset, algorithm, repeat, settings, self._supervision_cache
+                        dataset,
+                        entry,
+                        repeat,
+                        settings,
+                        self._supervision_cache,
+                        label=algorithm,
                     )
                     for repeat in range(self.n_repeats)
                 ]
@@ -363,7 +429,8 @@ class ExperimentRunner:
             return cells
 
         payloads = [
-            (dataset, algorithm, repeat, settings)
+            (dataset, self._algorithms.get(algorithm, algorithm), repeat, settings,
+             algorithm)
             for dataset, algorithm in pairs
             for repeat in range(self.n_repeats)
         ]
@@ -376,8 +443,16 @@ class ExperimentRunner:
         return cells
 
     # --------------------------------------------------------------------- API
-    def run_cell(self, dataset: Dataset, algorithm: str) -> ExperimentCell:
-        """Evaluate one (dataset, algorithm) cell with repeats."""
+    def run_cell(self, dataset: Dataset, algorithm: str | dict) -> ExperimentCell:
+        """Evaluate one (dataset, algorithm) cell with repeats.
+
+        ``algorithm`` is a table name or a registry spec (see
+        :func:`repro.experiments.grids.algorithm_spec`).
+        """
+        if isinstance(algorithm, dict):
+            label = _build_spec_cell(algorithm).algorithm_name
+            self._algorithms.setdefault(label, algorithm)
+            algorithm = label
         return self._evaluate_cells([(dataset, algorithm)])[0]
 
     def run_dataset(self, dataset: Dataset) -> list[ExperimentCell]:

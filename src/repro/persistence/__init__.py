@@ -14,6 +14,7 @@ bundles.
 from repro.persistence.artifacts import (
     ARRAYS_NAME,
     MANIFEST_NAME,
+    READABLE_SCHEMA_VERSIONS,
     SCHEMA_VERSION,
     load_framework,
     load_model,
@@ -28,6 +29,7 @@ __all__ = [
     "ARRAYS_NAME",
     "MANIFEST_NAME",
     "SCHEMA_VERSION",
+    "READABLE_SCHEMA_VERSIONS",
     "save_model",
     "load_model",
     "save_framework",

@@ -3,7 +3,7 @@
 Bundle layout (one directory per artifact)::
 
     <path>/
-        manifest.json   # schema version, kind, configs, history, checksum
+        manifest.json   # schema version, kind, spec, history, checksum
         arrays.npz      # every fitted ndarray (weights, biases, velocities,
                         # supervision state)
 
@@ -11,6 +11,15 @@ The manifest carries a ``schema_version`` so future layout changes can be
 detected (:class:`~repro.exceptions.SchemaVersionError`) and a SHA-256
 checksum of ``arrays.npz`` so silent corruption is caught on load
 (:class:`~repro.exceptions.ArtifactCorruptedError`).
+
+Schema history
+--------------
+* **v1** — per-kind construction info (``model.config`` +
+  ``framework.config``) interpreted by hand-rolled loaders.
+* **v2** — adds a top-level ``"spec"``: the :mod:`repro.registry` component
+  spec of the saved estimator, so loading is ``registry.build(spec)`` +
+  state restore, and the same spec format is shared with configs and
+  experiment grids.  v1 bundles remain loadable.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro import registry
 from repro.core.config import FrameworkConfig
 from repro.core.framework import SelfLearningEncodingFramework
 from repro.exceptions import (
@@ -39,6 +49,7 @@ from repro.supervision.local_supervision import LocalSupervision
 
 __all__ = [
     "SCHEMA_VERSION",
+    "READABLE_SCHEMA_VERSIONS",
     "MANIFEST_NAME",
     "ARRAYS_NAME",
     "MODEL_CLASSES",
@@ -52,13 +63,18 @@ __all__ = [
 ]
 
 #: Bump on any backwards-incompatible change to the bundle layout.
-SCHEMA_VERSION = 1
+#: v2 added the registry ``"spec"`` entry (2026-07); v1 bundles still load.
+SCHEMA_VERSION = 2
+
+#: Schema versions this build can load.
+READABLE_SCHEMA_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 _FORMAT = "repro-artifact"
 
-#: model_kind -> concrete class, for rebuilding bare models from a manifest.
+#: model_kind -> concrete class; kept for the v1 loading path and for
+#: backwards-compatible imports (the registry is the authoritative mapping).
 MODEL_CLASSES: dict[str, type[BaseRBM]] = {
     BernoulliRBM.model_kind: BernoulliRBM,
     GaussianRBM.model_kind: GaussianRBM,
@@ -129,10 +145,10 @@ def read_manifest(path) -> dict:
             f"{manifest_path} is not a repro artifact manifest"
         )
     version = manifest.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in READABLE_SCHEMA_VERSIONS:
         raise SchemaVersionError(
             f"artifact {path} has schema version {version!r}; this build of "
-            f"repro reads version {SCHEMA_VERSION}"
+            f"repro reads versions {READABLE_SCHEMA_VERSIONS}"
         )
     return manifest
 
@@ -156,29 +172,34 @@ def _load_arrays(path: Path, manifest: dict) -> dict[str, np.ndarray]:
         ) from exc
 
 
+def _model_spec(model: BaseRBM) -> dict:
+    """Registry spec rebuilding an equivalent (unfitted) model."""
+    return {"kind": "model", "type": model.model_kind, "params": model.get_config()}
+
+
 def _model_payload(model: BaseRBM) -> tuple[dict, dict]:
     """Manifest fragment and array mapping for one fitted model."""
     if not model.model_kind:
         raise PersistenceError(
-            f"{type(model).__name__} has no model_kind; only the four concrete "
+            f"{type(model).__name__} has no model_kind; only the concrete "
             "RBM variants can be persisted"
         )
-    params = model.get_params()
+    state = model.get_state()
     payload = {
         "model": {
             "model_kind": model.model_kind,
             "class": type(model).__name__,
             "config": model.get_config(),
-            "history": params["history"],
-            "supervision": params["supervision"],
+            "history": state["history"],
+            "supervision": state["supervision"],
         }
     }
-    return payload, params["arrays"]
+    return payload, state["arrays"]
 
 
 def _restore_model(model: BaseRBM, manifest: dict, arrays: dict) -> BaseRBM:
     info = manifest["model"]
-    model.set_params(
+    model.set_state(
         {
             "arrays": arrays,
             "history": info.get("history"),
@@ -197,7 +218,34 @@ def save_model(model: BaseRBM, path) -> Path:
         )
     model._check_fitted()
     payload, arrays = _model_payload(model)
+    payload["spec"] = _model_spec(model)
     return _write_bundle(Path(path), "model", payload, arrays)
+
+
+def _build_saved_model(path: Path, manifest: dict) -> BaseRBM:
+    """Construct the (unfitted) model a manifest describes.
+
+    Schema v2 bundles carry a registry spec and are built through
+    :func:`repro.registry.build`; v1 bundles fall back to the per-kind
+    class table.
+    """
+    spec = manifest.get("spec")
+    if spec is not None:
+        try:
+            return registry.build(spec)
+        except (ValidationError, TypeError) as exc:
+            # TypeError covers corrupt/foreign param keys rejected by the
+            # component constructor itself.
+            raise ArtifactCorruptedError(
+                f"artifact {path} carries an unbuildable spec: {exc}"
+            ) from exc
+    info = manifest.get("model") or {}
+    kind = info.get("model_kind")
+    if kind not in MODEL_CLASSES:
+        raise ArtifactCorruptedError(
+            f"artifact {path} names unknown model kind {kind!r}"
+        )
+    return MODEL_CLASSES[kind](**info.get("config", {}))
 
 
 def load_model(path) -> BaseRBM:
@@ -209,13 +257,11 @@ def load_model(path) -> BaseRBM:
             f"artifact {path} holds a {manifest.get('kind')!r}, not a model; "
             "use load_framework for framework bundles"
         )
-    info = manifest.get("model") or {}
-    kind = info.get("model_kind")
-    if kind not in MODEL_CLASSES:
+    model = _build_saved_model(path, manifest)
+    if not isinstance(model, BaseRBM):
         raise ArtifactCorruptedError(
-            f"artifact {path} names unknown model kind {kind!r}"
+            f"artifact {path} spec built a {type(model).__name__}, not a model"
         )
-    model = MODEL_CLASSES[kind](**info.get("config", {}))
     arrays = _load_arrays(path, manifest)
     return _restore_model(model, manifest, arrays)
 
@@ -239,6 +285,14 @@ def save_framework(framework: SelfLearningEncodingFramework, path) -> Path:
         "config": framework.config.as_dict(),
         "n_clusters": framework.n_clusters,
     }
+    payload["spec"] = {
+        "kind": "framework",
+        "type": "framework",
+        "params": {
+            "config": framework.config.as_dict(),
+            "n_clusters": framework.n_clusters,
+        },
+    }
     return _write_bundle(Path(path), "framework", payload, arrays)
 
 
@@ -256,11 +310,26 @@ def load_framework(path) -> SelfLearningEncodingFramework:
             f"artifact {path} holds a {manifest.get('kind')!r}, not a framework; "
             "use load_model for bare model bundles"
         )
-    info = manifest.get("framework") or {}
-    config = FrameworkConfig.from_dict(info.get("config", {}))
-    framework = SelfLearningEncodingFramework(
-        config, n_clusters=int(info.get("n_clusters", 1))
-    )
+    spec = manifest.get("spec")
+    if spec is not None:
+        try:
+            framework = registry.build(spec, kind="framework")
+        except (ValidationError, TypeError) as exc:
+            raise ArtifactCorruptedError(
+                f"artifact {path} carries an unbuildable spec: {exc}"
+            ) from exc
+        if not isinstance(framework, SelfLearningEncodingFramework):
+            raise ArtifactCorruptedError(
+                f"artifact {path} spec built a {type(framework).__name__}, "
+                "not a framework"
+            )
+        config = framework.config
+    else:
+        info = manifest.get("framework") or {}
+        config = FrameworkConfig.from_dict(info.get("config", {}))
+        framework = SelfLearningEncodingFramework(
+            config, n_clusters=int(info.get("n_clusters", 1))
+        )
     model = framework.build_model()
     saved_kind = (manifest.get("model") or {}).get("model_kind")
     if saved_kind != model.model_kind:

@@ -11,10 +11,12 @@ conditional is always ``p(h_j = 1 | v) = sigmoid(b_j + sum_i v_i w_ij)``
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.estimator import EstimatorMixin
 from repro.exceptions import NotFittedError, ValidationError
 from repro.rbm.initialization import initialize_weights, visible_bias_from_data
 from repro.utils.numerics import sigmoid
@@ -56,7 +58,7 @@ class CDStatistics:
         return float(np.mean(diff**2))
 
 
-class BaseRBM(abc.ABC):
+class BaseRBM(EstimatorMixin, abc.ABC):
     """Common implementation shared by all four RBM variants.
 
     Parameters
@@ -336,29 +338,18 @@ class BaseRBM(abc.ABC):
     def get_config(self) -> dict:
         """Constructor keyword arguments reproducing this estimator.
 
-        Only JSON-serialisable values are returned: a ``random_state`` given
-        as a ``numpy.random.Generator`` cannot be round-tripped and is
-        replaced by ``None``.
+        The JSON-safe twin of ``get_params(deep=False)``: the ``dtype`` is
+        returned by name and a ``random_state`` given as a
+        ``numpy.random.Generator`` cannot be round-tripped, so it is replaced
+        by ``None``.
         """
-        random_state = self.random_state
-        if not isinstance(random_state, (int, type(None))):
-            random_state = None
-        return {
-            "n_hidden": self.n_hidden,
-            "learning_rate": self.learning_rate,
-            "n_epochs": self.n_epochs,
-            "batch_size": self.batch_size,
-            "cd_steps": self.cd_steps,
-            "weight_sigma": self.weight_sigma,
-            "momentum": self.momentum,
-            "weight_decay": self.weight_decay,
-            "sample_hidden_states": self.sample_hidden_states,
-            "dtype": self.dtype.name,
-            "random_state": random_state,
-            "verbose": self.verbose,
-        }
+        config = self.get_params(deep=False)
+        config["dtype"] = self.dtype.name
+        if not isinstance(config["random_state"], (int, type(None))):
+            config["random_state"] = None
+        return config
 
-    def get_params(self) -> dict:
+    def get_state(self) -> dict:
         """Complete fitted state of the model, split by storage medium.
 
         Returns a dictionary with:
@@ -370,6 +361,10 @@ class BaseRBM(abc.ABC):
           trainer;
         * ``"supervision"`` — always ``None`` for the plain models; the sls
           mixin overrides this with the attached supervision state.
+
+        (Before the unified estimator protocol this was called
+        ``get_params()``; ``get_params`` now returns the constructor
+        parameters as everywhere else in the package.)
         """
         self._check_fitted()
         history = getattr(self, "training_history_", None)
@@ -386,8 +381,8 @@ class BaseRBM(abc.ABC):
             "supervision": None,
         }
 
-    def set_params(self, params: dict) -> "BaseRBM":
-        """Restore the state captured by :meth:`get_params`.
+    def set_state(self, params: dict) -> "BaseRBM":
+        """Restore the state captured by :meth:`get_state`.
 
         Inference (:meth:`transform`, :meth:`reconstruct`, :meth:`score`) is
         bitwise-identical after a round-trip; the sampling stream is reseeded
@@ -435,6 +430,29 @@ class BaseRBM(abc.ABC):
         if history is not None:
             self.training_history_ = TrainingHistory.from_dict(history)
         return self
+
+    def set_params(self, *args, **params):
+        """Estimator-protocol parameter update (see :class:`EstimatorMixin`).
+
+        Calling it with a single positional state dictionary — the pre-protocol
+        persistence signature — still works but is deprecated in favour of
+        :meth:`set_state`.
+        """
+        if args:
+            if len(args) == 1 and isinstance(args[0], dict) and not params:
+                warnings.warn(
+                    "set_params(state_dict) is deprecated; use set_state() for "
+                    "fitted state and set_params(**params) for constructor "
+                    "parameters",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return self.set_state(args[0])
+            raise TypeError(
+                "set_params takes keyword parameters only "
+                "(or one legacy state dictionary)"
+            )
+        return super().set_params(**params)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

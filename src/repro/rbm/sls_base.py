@@ -182,17 +182,7 @@ class SupervisedCDMixin(BaseRBM):
         return float(l_data + l_recon)
 
     # ------------------------------------------------------------- persistence
-    def get_config(self) -> dict:
-        """Constructor kwargs including the supervision hyper-parameters."""
-        config = super().get_config()
-        config.update(
-            eta=self.eta,
-            supervision_learning_rate=self.supervision_learning_rate,
-            supervision_grad_clip=self.supervision_grad_clip,
-        )
-        return config
-
-    def get_params(self) -> dict:
+    def get_state(self) -> dict:
         """Fitted state extended with the attached supervision (if any).
 
         The supervision state comprises the covered visible submatrix, the
@@ -200,7 +190,7 @@ class SupervisedCDMixin(BaseRBM):
         sets are rebuilt) and, when available, the full
         :class:`LocalSupervision` labels and metadata.
         """
-        params = super().get_params()
+        params = super().get_state()
         if not self.has_supervision:
             return params
         index_sets = self._supervision_index_sets
@@ -221,9 +211,9 @@ class SupervisedCDMixin(BaseRBM):
             params["supervision"] = {}
         return params
 
-    def set_params(self, params: dict) -> "SupervisedCDMixin":
+    def set_state(self, params: dict) -> "SupervisedCDMixin":
         """Restore fitted state and re-attach the serialised supervision."""
-        super().set_params(params)
+        super().set_state(params)
         arrays = params["arrays"]
         if "supervision_visible" not in arrays:
             self._supervision_visible = None

@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
-from repro.clustering.registry import make_clusterer
+from repro.registry import build_clusterer
 from repro.exceptions import SupervisionError, ValidationError
 from repro.supervision.alignment import align_partitions
 from repro.supervision.local_supervision import LocalSupervision
@@ -39,7 +39,8 @@ class MultiClusteringIntegration:
         the ground-truth class count of each dataset).
     clusterers : sequence of str or BaseClusterer, default ("dp", "kmeans", "ap")
         Base algorithms.  Strings are resolved through
-        :func:`repro.clustering.make_clusterer`.
+        :func:`repro.registry.build_clusterer` (any registered
+        clusterer short name or alias is accepted).
     voting : {"unanimous", "majority"}, default "unanimous"
         Integration strategy; the paper uses unanimous voting.
     min_agreement : float, default 0.5
@@ -135,7 +136,7 @@ class MultiClusteringIntegration:
                 estimators.append(spec)
             else:
                 estimators.append(
-                    make_clusterer(str(spec), self.n_clusters, random_state=stream)
+                    build_clusterer(str(spec), self.n_clusters, random_state=stream)
                 )
         return estimators
 

@@ -88,3 +88,79 @@ class TestAffinityPropagation:
         assert len(set(labels[:15])) == 1
         assert len(set(labels[15:])) == 1
         assert labels[0] != labels[-1]
+
+
+class TestDampingSchedule:
+    """Adaptive damping satellite: oscillation raises damping instead of
+    silently burning max_iter."""
+
+    def test_constant_schedule_keeps_damping(self, blobs_dataset):
+        data, _ = blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = AffinityPropagation(damping=0.7, random_state=0).fit(data)
+        assert model.final_damping_ == 0.7
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping_schedule="linear")
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping_increment=0.0)
+        with pytest.raises(ValidationError):
+            AffinityPropagation(max_damping=1.5)
+
+    def test_adaptive_never_exceeds_ceiling(self, hard_blobs_dataset):
+        data, _ = hard_blobs_dataset
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = AffinityPropagation(
+                damping=0.5,
+                damping_schedule="adaptive",
+                max_damping=0.9,
+                max_iter=80,
+                random_state=0,
+            ).fit(data)
+        assert 0.5 <= model.final_damping_ <= 0.9
+
+    def test_adaptive_raises_damping_on_oscillation(self):
+        # A duplicated grid of points produces heavily degenerate
+        # similarities — the classic oscillation trigger for AP.
+        base = np.mgrid[0:4, 0:4].reshape(2, -1).T.astype(float)
+        data = np.vstack([base, base, base])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            constant = AffinityPropagation(
+                damping=0.5, max_iter=120, random_state=0
+            ).fit(data)
+            adaptive = AffinityPropagation(
+                damping=0.5,
+                damping_schedule="adaptive",
+                max_iter=120,
+                random_state=0,
+            ).fit(data)
+        assert constant.final_damping_ == 0.5
+        assert adaptive.final_damping_ > 0.5
+
+    def test_nonconvergence_warning_names_max_iter(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((40, 3))
+        from repro.exceptions import ConvergenceWarning
+
+        with pytest.warns(ConvergenceWarning, match="max_iter"):
+            AffinityPropagation(
+                damping=0.5, max_iter=3, convergence_iter=2, random_state=0
+            ).fit(data)
+
+    def test_adaptive_warning_mentions_schedule(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((40, 3))
+        from repro.exceptions import ConvergenceWarning
+
+        with pytest.warns(ConvergenceWarning, match="adaptive damping"):
+            AffinityPropagation(
+                damping=0.5,
+                damping_schedule="adaptive",
+                max_iter=6,
+                convergence_iter=2,
+                random_state=0,
+            ).fit(data)

@@ -81,3 +81,75 @@ class TestSpectral:
         labels_true = np.concatenate([np.zeros(60, int), np.ones(60, int)])
         predicted = SpectralClustering(2, gamma=2.0, random_state=0).fit_predict(data)
         assert clustering_accuracy(labels_true, predicted) > 0.95
+
+
+class TestSparseSpectral:
+    """The sparse k-NN affinity + Lanczos back end (perf-backlog satellite)."""
+
+    def test_sparse_matches_dense_on_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        dense = SpectralClustering(3, affinity="dense", random_state=0).fit(data)
+        sparse = SpectralClustering(
+            3, affinity="sparse", n_neighbors=15, random_state=0
+        ).fit(data)
+        assert dense.affinity_mode_ == "dense"
+        assert sparse.affinity_mode_ == "sparse"
+        assert clustering_accuracy(labels, dense.labels_) > 0.95
+        assert clustering_accuracy(labels, sparse.labels_) > 0.95
+
+    def test_auto_picks_dense_for_small_inputs(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = SpectralClustering(3, random_state=0).fit(data)
+        assert model.affinity_mode_ == "dense"
+
+    def test_auto_switches_to_sparse_above_threshold(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = SpectralClustering(
+            3, dense_threshold=10, random_state=0
+        ).fit(data)
+        assert model.affinity_mode_ == "sparse"
+
+    def test_sparse_falls_back_to_dense_for_tiny_n(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((6, 3))
+        model = SpectralClustering(
+            2, affinity="sparse", n_neighbors=10, random_state=0
+        ).fit(data)
+        assert model.affinity_mode_ == "dense"
+
+    def test_sparse_is_deterministic(self, blobs_dataset):
+        data, _ = blobs_dataset
+        kwargs = dict(affinity="sparse", n_neighbors=12, random_state=3)
+        a = SpectralClustering(3, **kwargs).fit_predict(data)
+        b = SpectralClustering(3, **kwargs).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sparse_chunked_sweep_matches_unchunked(self, blobs_dataset):
+        data, _ = blobs_dataset
+        small = SpectralClustering(
+            3, affinity="sparse", n_neighbors=12, chunk_size=7, random_state=0
+        ).fit_predict(data)
+        large = SpectralClustering(
+            3, affinity="sparse", n_neighbors=12, chunk_size=1024, random_state=0
+        ).fit_predict(data)
+        np.testing.assert_array_equal(small, large)
+
+    def test_invalid_affinity(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(2, affinity="rbf")
+
+    def test_sparse_concentric_structure(self):
+        rng = np.random.default_rng(5)
+        n = 120
+        angles = rng.uniform(0, 2 * np.pi, n)
+        radii = np.concatenate([np.full(n // 2, 1.0), np.full(n // 2, 6.0)])
+        radii = radii + rng.normal(scale=0.05, size=n)
+        data = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        truth = np.concatenate([np.zeros(n // 2, int), np.ones(n // 2, int)])
+        # Enough neighbours to keep each ring one connected component; with
+        # fewer, a ring legitimately splits into disconnected arcs and the
+        # two smallest eigenvectors span an arbitrary indicator subspace.
+        predicted = SpectralClustering(
+            2, affinity="sparse", n_neighbors=15, random_state=0
+        ).fit_predict(data)
+        assert clustering_accuracy(truth, predicted) > 0.95

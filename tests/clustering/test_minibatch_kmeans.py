@@ -1,0 +1,56 @@
+"""Tests for the mini-batch K-means clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans, MiniBatchKMeans
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics import clustering_accuracy
+
+
+class TestMiniBatchKMeans:
+    def test_recovers_separated_blobs(self, blobs_dataset):
+        data, labels = blobs_dataset
+        predicted = MiniBatchKMeans(3, random_state=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.95
+
+    def test_close_to_exact_kmeans_inertia(self, blobs_dataset):
+        data, _ = blobs_dataset
+        exact = KMeans(3, random_state=0).fit(data)
+        streaming = MiniBatchKMeans(3, random_state=0).fit(data)
+        assert streaming.inertia_ <= 1.5 * exact.inertia_
+
+    def test_reproducible_with_seed(self, blobs_dataset):
+        data, _ = blobs_dataset
+        a = MiniBatchKMeans(3, random_state=4).fit_predict(data)
+        b = MiniBatchKMeans(3, random_state=4).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_larger_than_data_is_clipped(self, blobs_dataset):
+        data, labels = blobs_dataset
+        model = MiniBatchKMeans(3, batch_size=10_000, random_state=0).fit(data)
+        assert clustering_accuracy(labels, model.labels_) > 0.9
+
+    def test_keeps_k_clusters_alive(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = MiniBatchKMeans(3, batch_size=16, random_state=0).fit(data)
+        assert model.n_clusters_found_ == 3
+        assert model.cluster_centers_.shape == (3, data.shape[1])
+
+    def test_predict_new_samples(self, blobs_dataset):
+        data, _ = blobs_dataset
+        model = MiniBatchKMeans(3, random_state=0).fit(data)
+        assigned = model.predict(data[:7])
+        np.testing.assert_array_equal(assigned, model.labels_[:7])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            MiniBatchKMeans(2).predict(np.zeros((3, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(2, reassignment_ratio=1.5)
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(5).fit(np.zeros((3, 2)))

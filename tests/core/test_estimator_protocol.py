@@ -1,0 +1,239 @@
+"""Shared conformance suite: every registered estimator obeys the protocol.
+
+Parametrized over every public component in the registry — the six
+clusterers, the four RBM variants, the preprocessing transformers, the
+encoding framework and both pipelines — checking the contract promised by
+:mod:`repro.core.estimator`:
+
+* ``build(spec)`` is equivalent to direct construction;
+* ``get_params`` / ``set_params`` round-trip;
+* ``clone()`` copies parameters but not fitted state;
+* fitted-only access raises :class:`NotFittedError` before ``fit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.datasets.synthetic import make_blobs, make_overlapping_binary_clusters
+from repro.exceptions import NotFittedError, ValidationError
+
+BLOBS, _ = make_blobs(60, 5, 3, cluster_std=0.6, center_spread=6.0, random_state=7)
+BINARY, _ = make_overlapping_binary_clusters(
+    60, 8, 2, flip_probability=0.1, random_state=3
+)
+
+_RBM_PARAMS = {"n_hidden": 4, "n_epochs": 2, "batch_size": 32, "random_state": 0}
+_FRAMEWORK_CONFIG = {
+    "model": "sls_rbm",
+    "n_hidden": 4,
+    "n_epochs": 2,
+    "batch_size": 32,
+    "preprocessing": "median_binarize",
+    "supervision_preprocessing": "standardize",
+    "clusterers": ["kmeans", "agglomerative"],
+    "random_state": 0,
+}
+
+
+@dataclass
+class Case:
+    """One estimator under test: its spec, fit data and fitted accessor."""
+
+    spec: dict
+    data: np.ndarray = field(default_factory=lambda: BLOBS)
+    #: runs the estimator's fit path (returns nothing)
+    fit: Callable = lambda est, data: est.fit(data)
+    #: touches fitted-only state (must raise NotFittedError before fit)
+    fitted_access: Callable = lambda est, data: est.transform(data)
+    #: a constructor parameter safe to change through set_params, and a value
+    mutable_param: tuple | None = None
+
+
+CASES = {
+    "clusterer/kmeans": Case(
+        spec={"kind": "clusterer", "type": "kmeans",
+              "params": {"n_clusters": 3, "random_state": 0}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("n_init", 3),
+    ),
+    "clusterer/minibatch_kmeans": Case(
+        spec={"kind": "clusterer", "type": "minibatch_kmeans",
+              "params": {"n_clusters": 3, "random_state": 0, "max_iter": 10}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("batch_size", 64),
+    ),
+    "clusterer/ap": Case(
+        spec={"kind": "clusterer", "type": "ap",
+              "params": {"random_state": 0, "max_iter": 60}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("damping", 0.8),
+    ),
+    "clusterer/dp": Case(
+        spec={"kind": "clusterer", "type": "dp", "params": {"n_clusters": 3}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("dc_percentile", 3.0),
+    ),
+    "clusterer/agglomerative": Case(
+        spec={"kind": "clusterer", "type": "agglomerative",
+              "params": {"n_clusters": 3}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("linkage", "average"),
+    ),
+    "clusterer/spectral": Case(
+        spec={"kind": "clusterer", "type": "spectral",
+              "params": {"n_clusters": 3, "random_state": 0}},
+        fitted_access=lambda est, data: est.n_clusters_found_,
+        mutable_param=("n_neighbors", 5),
+    ),
+    "model/rbm": Case(
+        spec={"kind": "model", "type": "rbm", "params": dict(_RBM_PARAMS)},
+        data=BINARY,
+        mutable_param=("learning_rate", 0.01),
+    ),
+    "model/grbm": Case(
+        spec={"kind": "model", "type": "grbm", "params": dict(_RBM_PARAMS)},
+        mutable_param=("momentum", 0.5),
+    ),
+    "model/sls_rbm": Case(
+        spec={"kind": "model", "type": "sls_rbm",
+              "params": {**_RBM_PARAMS, "eta": 0.5}},
+        data=BINARY,
+        mutable_param=("eta", 0.3),
+    ),
+    "model/sls_grbm": Case(
+        spec={"kind": "model", "type": "sls_grbm",
+              "params": {**_RBM_PARAMS, "eta": 0.4}},
+        mutable_param=("supervision_grad_clip", 0.5),
+    ),
+    "preprocessor/standardize": Case(
+        spec={"kind": "preprocessor", "type": "standardize"},
+        mutable_param=("epsilon", 1e-6),
+    ),
+    "preprocessor/minmax": Case(
+        spec={"kind": "preprocessor", "type": "minmax"},
+        mutable_param=("feature_range", (0.0, 2.0)),
+    ),
+    "preprocessor/median_binarize": Case(
+        spec={"kind": "preprocessor", "type": "median_binarize"},
+    ),
+    "preprocessor/identity": Case(
+        spec={"kind": "preprocessor", "type": "identity"},
+    ),
+    "framework/framework": Case(
+        spec={"kind": "framework", "type": "framework",
+              "params": {"config": dict(_FRAMEWORK_CONFIG), "n_clusters": 3}},
+        mutable_param=("n_clusters", 4),
+    ),
+    "pipeline/pipeline": Case(
+        spec={"kind": "pipeline", "type": "pipeline",
+              "params": {"steps": [
+                  ["scale", {"kind": "preprocessor", "type": "standardize"}],
+                  ["cluster", {"kind": "clusterer", "type": "kmeans",
+                               "params": {"n_clusters": 3, "random_state": 0}}],
+              ]}},
+        fit=lambda est, data: est.fit_predict(data),
+        fitted_access=lambda est, data: est.transform(data),
+    ),
+    "pipeline/clustering_pipeline": Case(
+        spec={"kind": "pipeline", "type": "clustering_pipeline",
+              "params": {"clusterer": "kmeans", "n_clusters": 3,
+                         "random_state": 0}},
+        fit=lambda est, data: est.fit_predict(data),
+        fitted_access=lambda est, data: est._check_fitted(),
+        mutable_param=("n_clusters", 4),
+    ),
+}
+
+IDS = sorted(CASES)
+
+
+def _case(case_id: str) -> Case:
+    return CASES[case_id]
+
+
+@pytest.mark.parametrize("case_id", IDS)
+class TestProtocolConformance:
+    def test_registry_covers_case(self, case_id):
+        case = _case(case_id)
+        kind, name = case_id.split("/")
+        assert name in registry.available(kind)
+        assert case.spec["type"] == name
+
+    def test_build_matches_direct_construction(self, case_id):
+        case = _case(case_id)
+        built = registry.build(case.spec)
+        cls = registry.get_class(case.spec["type"], kind=case.spec["kind"])
+        assert type(built) is cls
+        direct = registry.build(case.spec)
+        assert registry.spec_of(built) == registry.spec_of(direct)
+
+    def test_spec_round_trips(self, case_id):
+        import json
+
+        case = _case(case_id)
+        built = registry.build(case.spec)
+        spec = registry.spec_of(built)
+        json.dumps(spec)  # every spec must be JSON-serialisable
+        rebuilt = registry.build(spec)
+        assert registry.spec_of(rebuilt) == spec
+
+    def test_get_set_params_round_trip(self, case_id):
+        case = _case(case_id)
+        est = registry.build(case.spec)
+        before = registry.spec_of(est)
+        est.set_params(**est.get_params(deep=False))
+        assert registry.spec_of(est) == before
+
+    def test_set_params_updates_and_validates(self, case_id):
+        case = _case(case_id)
+        est = registry.build(case.spec)
+        with pytest.raises(ValidationError):
+            est.set_params(definitely_not_a_parameter=1)
+        if case.mutable_param is not None:
+            name, value = case.mutable_param
+            est.set_params(**{name: value})
+            got = est.get_params(deep=False)[name]
+            if isinstance(value, tuple):
+                assert tuple(got) == value
+            else:
+                assert got == value
+
+    def test_clone_copies_params_not_state(self, case_id):
+        case = _case(case_id)
+        est = registry.build(case.spec)
+        duplicate = est.clone()
+        assert type(duplicate) is type(est)
+        assert registry.spec_of(duplicate) == registry.spec_of(est)
+        case.fit(est, case.data)
+        assert est.is_fitted
+        assert not duplicate.is_fitted
+
+    def test_unfitted_access_raises(self, case_id):
+        case = _case(case_id)
+        est = registry.build(case.spec)
+        assert not est.is_fitted
+        with pytest.raises(NotFittedError):
+            case.fitted_access(est, case.data)
+
+    def test_fit_then_fitted_access_succeeds(self, case_id):
+        case = _case(case_id)
+        est = registry.build(case.spec)
+        case.fit(est, case.data)
+        assert est.is_fitted
+        case.fitted_access(est, case.data)  # must no longer raise
+
+
+def test_every_registered_component_has_a_case():
+    """New registrations must join the conformance suite."""
+    registered = {
+        f"{kind}/{name}"
+        for kind, names in registry.available().items()
+        for name in names
+    }
+    assert registered == set(CASES)

@@ -138,7 +138,19 @@ class TestFrameworkFit:
 
     def test_invalid_config_type(self):
         with pytest.raises(ValidationError):
-            SelfLearningEncodingFramework({"model": "rbm"}, n_clusters=3)
+            SelfLearningEncodingFramework(42, n_clusters=3)
+
+    def test_dict_config_accepted(self):
+        # Registry specs describe the config as a plain dict.
+        framework = SelfLearningEncodingFramework(
+            {"model": "rbm", "n_hidden": 4}, n_clusters=3
+        )
+        assert framework.config.model == "rbm"
+        assert framework.config.n_hidden == 4
+
+    def test_unknown_dict_config_field_rejected(self):
+        with pytest.raises(ValidationError):
+            SelfLearningEncodingFramework({"no_such_field": 1}, n_clusters=3)
 
     def test_reproducibility(self, blobs_dataset):
         data, _ = blobs_dataset

@@ -1,0 +1,181 @@
+"""Tests for the N-step :class:`repro.core.pipeline.Pipeline`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.clustering import KMeans
+from repro.core.pipeline import Pipeline
+from repro.core.transformers import Standardize
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _framework_spec(model="rbm", n_hidden=6, preprocessing="median_binarize"):
+    return {
+        "kind": "framework",
+        "type": "framework",
+        "params": {
+            "config": {
+                "model": model,
+                "n_hidden": n_hidden,
+                "n_epochs": 2,
+                "batch_size": 32,
+                "preprocessing": preprocessing,
+                "random_state": 0,
+            },
+            "n_clusters": 3,
+        },
+    }
+
+
+class TestConstruction:
+    def test_auto_naming_and_access(self):
+        pipeline = Pipeline([Standardize(), KMeans(3)])
+        assert list(pipeline.named_steps) == ["step0", "step1"]
+        assert isinstance(pipeline[0], Standardize)
+        assert isinstance(pipeline["step1"], KMeans)
+        assert len(pipeline) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Pipeline([("a", Standardize()), ("a", KMeans(3))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            Pipeline([])
+
+    def test_non_estimator_rejected(self):
+        with pytest.raises(ValidationError, match="protocol"):
+            Pipeline([("f", lambda x: x)])
+
+    def test_clusterer_mid_pipeline_rejected(self):
+        with pytest.raises(ValidationError, match="transformer"):
+            Pipeline([("cluster", KMeans(3)), ("scale", Standardize())])
+
+
+class TestFitAndTransform:
+    def test_preprocess_then_cluster(self, blobs_dataset):
+        data, labels = blobs_dataset
+        pipeline = Pipeline([
+            ("scale", Standardize()),
+            ("cluster", KMeans(3, random_state=0)),
+        ])
+        predicted = pipeline.fit_predict(data)
+        assert predicted.shape == (data.shape[0],)
+        assert pipeline.is_fitted
+        assert pipeline.is_clustering
+        np.testing.assert_array_equal(predicted, pipeline.labels_)
+
+    def test_transform_uses_training_statistics(self, blobs_dataset):
+        data, _ = blobs_dataset
+        pipeline = Pipeline([("scale", Standardize()), ("cluster", KMeans(3, random_state=0))])
+        pipeline.fit(data)
+        # Transforming a subset must reuse the training mean/std, not refit.
+        subset = pipeline.transform(data[:10])
+        full = pipeline.transform(data)[:10]
+        np.testing.assert_array_equal(subset, full)
+
+    def test_encoder_pipeline_transform_runs_all_steps(self, blobs_dataset):
+        data, _ = blobs_dataset
+        pipeline = Pipeline([
+            ("scale", Standardize()),
+            ("encode", registry.build(_framework_spec())),
+        ])
+        features = pipeline.fit_transform(data)
+        assert not pipeline.is_clustering
+        assert features.shape == (data.shape[0], 6)
+
+    def test_unfitted_transform_raises(self, blobs_dataset):
+        data, _ = blobs_dataset
+        pipeline = Pipeline([("scale", Standardize()), ("cluster", KMeans(3))])
+        with pytest.raises(NotFittedError):
+            pipeline.transform(data)
+
+    def test_fit_predict_requires_clusterer_tail(self, blobs_dataset):
+        data, _ = blobs_dataset
+        pipeline = Pipeline([("scale", Standardize())])
+        with pytest.raises(ValidationError, match="cluster assignment"):
+            pipeline.fit_predict(data)
+
+    def test_supervision_forwarded_to_framework(self, blobs_dataset):
+        data, _ = blobs_dataset
+        framework = registry.build(_framework_spec(model="sls_rbm"))
+        pipeline = Pipeline([
+            ("encode", framework),
+            ("cluster", KMeans(3, random_state=0)),
+        ])
+        from repro.supervision.local_supervision import LocalSupervision
+
+        labels = np.full(data.shape[0], -1)
+        labels[:20] = 0
+        labels[20:40] = 1
+        supervision = LocalSupervision.from_labels(labels)
+        pipeline.fit_predict(data, supervision=supervision)
+        assert framework.supervision_ is supervision
+
+
+class TestStackedEncoders:
+    """Deep/stacked encoding — the scenario the old two-stage pipeline
+    could not express."""
+
+    def test_stacked_frameworks_end_to_end(self, blobs_dataset):
+        data, _ = blobs_dataset
+        spec = {
+            "kind": "pipeline",
+            "type": "pipeline",
+            "params": {"steps": [
+                ["first", _framework_spec(model="grbm", n_hidden=8,
+                                          preprocessing="standardize")],
+                ["second", _framework_spec(model="rbm", n_hidden=4,
+                                           preprocessing="minmax")],
+                ["cluster", {"kind": "clusterer", "type": "kmeans",
+                             "params": {"n_clusters": 3, "random_state": 0}}],
+            ]},
+        }
+        pipeline = registry.build(spec)
+        predicted = pipeline.fit_predict(data)
+        assert predicted.shape == (data.shape[0],)
+        # The second encoder consumed the first encoder's 8-d features.
+        assert pipeline["second"].model_.n_visible_ == 8
+        # The whole stack round-trips through its spec.
+        rebuilt = registry.build(registry.spec_of(pipeline))
+        np.testing.assert_array_equal(rebuilt.fit_predict(data), predicted)
+
+    def test_clone_deep_copies_steps(self, blobs_dataset):
+        data, _ = blobs_dataset
+        pipeline = Pipeline([
+            ("encode", registry.build(_framework_spec())),
+            ("cluster", KMeans(3, random_state=0)),
+        ])
+        duplicate = pipeline.clone()
+        pipeline.fit_predict(data)
+        assert pipeline["encode"].is_fitted
+        assert not duplicate["encode"].is_fitted
+        assert duplicate["encode"] is not pipeline["encode"]
+
+    def test_deep_params_and_nested_set_params(self):
+        pipeline = Pipeline([
+            ("scale", Standardize()),
+            ("cluster", KMeans(3, random_state=0)),
+        ])
+        deep = pipeline.get_params(deep=True)
+        assert deep["cluster__n_clusters"] == 3
+        pipeline.set_params(cluster__n_clusters=5)
+        assert pipeline["cluster"].n_clusters == 5
+        with pytest.raises(ValidationError):
+            pipeline.set_params(nosuch__n_clusters=2)
+
+
+class TestClusteringPipelineBridge:
+    def test_as_pipeline(self, blobs_dataset):
+        from repro.core.pipeline import ClusteringPipeline
+
+        data, _ = blobs_dataset
+        cell = ClusteringPipeline("kmeans", n_clusters=3, random_state=0)
+        generic = cell.as_pipeline()
+        assert isinstance(generic, Pipeline)
+        np.testing.assert_array_equal(
+            generic.fit_predict(data), cell.fit_predict(data)
+        )

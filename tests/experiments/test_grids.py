@@ -71,3 +71,63 @@ class TestBuildAlgorithm:
         grid = build_algorithm_grid(DATASETS_I_ALGORITHMS, 3, n_hidden=8, n_epochs=2)
         assert set(grid) == set(DATASETS_I_ALGORITHMS)
         assert all(isinstance(p, ClusteringPipeline) for p in grid.values())
+
+
+class TestAlgorithmSpec:
+    """Grid cells expressed in the registry spec format."""
+
+    def test_spec_is_json_and_builds_same_cell(self):
+        import json
+
+        from repro import registry
+        from repro.experiments.grids import algorithm_spec
+
+        spec = algorithm_spec("DP+slsRBM", 3, n_hidden=8, n_epochs=2)
+        json.dumps(spec)  # plain JSON
+        pipeline = registry.build(spec)
+        direct = build_algorithm("DP+slsRBM", 3, n_hidden=8, n_epochs=2)
+        assert pipeline.algorithm_name == direct.algorithm_name == "DP+slsRBM"
+        assert pipeline.framework.config == direct.framework.config
+
+    def test_raw_cell_spec_has_no_framework(self):
+        from repro.experiments.grids import algorithm_spec
+
+        spec = algorithm_spec("K-means", 4)
+        assert "framework" not in spec["params"]
+        assert spec["params"]["clusterer"] == "kmeans"
+
+    def test_runner_accepts_spec_cells(self):
+        import numpy as np
+
+        from repro.datasets import load_uci_dataset
+        from repro.experiments.grids import algorithm_spec
+        from repro.experiments.runner import ExperimentRunner
+
+        dataset = load_uci_dataset("IR", scale=0.5, random_state=0)
+        spec = algorithm_spec(
+            "K-means+slsRBM", dataset.n_classes, n_hidden=6, n_epochs=2
+        )
+        by_name = ExperimentRunner(
+            ("K-means+slsRBM",), n_hidden=6, n_epochs=2, random_state=0
+        ).run_cell(dataset, "K-means+slsRBM")
+        by_spec_runner = ExperimentRunner(
+            (spec,), n_hidden=6, n_epochs=2, random_state=0
+        )
+        assert by_spec_runner.algorithm_names == ("K-means+slsRBM",)
+        by_spec = by_spec_runner.run_cell(dataset, "K-means+slsRBM")
+        assert by_spec.algorithm == by_name.algorithm
+        for metric, value in by_name.mean.items():
+            assert np.isclose(by_spec.mean[metric], value)
+
+
+    def test_runner_rejects_generic_pipeline_spec(self):
+        import pytest
+
+        from repro.exceptions import ValidationError
+        from repro.experiments.runner import ExperimentRunner
+
+        generic = {"type": "pipeline", "params": {"steps": [
+            ["cluster", {"type": "kmeans", "params": {"n_clusters": 2}}],
+        ]}}
+        with pytest.raises(ValidationError, match="clustering_pipeline"):
+            ExperimentRunner((generic,))

@@ -198,3 +198,83 @@ class TestStats:
         assert set(stats) == {"a", "b"}
         assert stats["a"]["n_requests"] == 1
         assert stats["b"]["n_requests"] == 0
+
+
+class TestServingDtypeAndFastPath:
+    """float32 opt-in serving and the scratch-buffer fast path."""
+
+    def test_default_dtype_bit_identical(self, fitted):
+        framework, data = fitted
+        service = EncodingService(max_batch_size=16)
+        service.register("ir", framework)
+        assert np.array_equal(service.encode("ir", data), framework.transform(data))
+
+    def test_float32_opt_in(self, fitted):
+        framework, data = fitted
+        service = EncodingService(dtype="float32")
+        service.register("ir", framework)
+        features = service.encode("ir", data)
+        assert features.dtype == np.float32
+        reference = framework.transform(data)
+        np.testing.assert_allclose(features, reference, rtol=1e-4, atol=1e-5)
+
+    def test_invalid_dtype(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            EncodingService(dtype="float16")
+
+    def test_scratch_buffer_reused_across_requests(self, fitted):
+        framework, data = fitted
+        service = EncodingService(cache_entries=0, max_batch_size=1024)
+        service.register("ir", framework)
+        service.encode("ir", data)
+        runtime = service._models["ir"]
+        first = runtime._scratch
+        assert first is not None
+        service.encode("ir", data)
+        assert runtime._scratch is first  # no reallocation on the second call
+
+    def test_bare_rbm_registration(self, fitted):
+        framework, data = fitted
+        model = framework.model_
+        service = EncodingService()
+        service.register("raw", model)
+        preprocessed = framework.preprocess(data)
+        assert np.array_equal(
+            service.encode("raw", preprocessed), model.transform(preprocessed)
+        )
+
+    def test_encoder_pipeline_registration(self, fitted):
+        from repro.core.pipeline import Pipeline
+        from repro.core.transformers import Standardize
+
+        framework, data = fitted
+        pipeline = Pipeline([("scale", Standardize())])
+        pipeline.fit(data)
+        service = EncodingService()
+        service.register("scaled", pipeline)
+        assert np.array_equal(
+            service.encode("scaled", data), pipeline.transform(data)
+        )
+
+    def test_non_encoder_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            EncodingService().register("bad", object())
+
+
+    def test_framework_pipeline_encode_independent_of_batch_size(self, fitted):
+        # A pipeline embedding a framework step must not be micro-batched:
+        # the framework preprocessing recomputes statistics from its input.
+        from repro.core.pipeline import Pipeline
+
+        framework, data = fitted
+        pipeline = Pipeline([("encode", framework)])
+        pipeline.fit(data)
+        reference = pipeline.transform(data)
+        for batch in (7, 16, 4096):
+            service = EncodingService(max_batch_size=batch, cache_entries=0)
+            service.register("p", pipeline)
+            assert np.array_equal(service.encode("p", data), reference)

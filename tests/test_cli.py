@@ -41,6 +41,63 @@ class TestTrain:
         assert "final reconstruction error" in out
         assert "artifact written to" in out
 
+    def test_train_from_inline_spec(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "type": "framework",
+            "params": {
+                "config": {
+                    "model": "rbm",
+                    "n_hidden": 6,
+                    "n_epochs": 2,
+                    "preprocessing": "median_binarize",
+                },
+                "n_clusters": 3,
+            },
+        }
+        code = main([
+            "train", "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+            "--spec", json.dumps(spec), "--out", str(tmp_path / "s"),
+        ])
+        assert code == 0
+        framework = load_framework(tmp_path / "s")
+        assert framework.config.model == "rbm"
+        assert framework.config.n_hidden == 6
+
+    def test_train_from_spec_file(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "type": "framework",
+            "params": {"config": {"model": "grbm", "n_hidden": 4,
+                                  "n_epochs": 2},
+                       "n_clusters": 3},
+        }))
+        code = main([
+            "train", "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+            "--spec", f"@{spec_path}", "--out", str(tmp_path / "s"),
+        ])
+        assert code == 0
+        assert load_framework(tmp_path / "s").config.model == "grbm"
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "train", "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+            "--spec", f"@{tmp_path / 'nope.json'}", "--out", str(tmp_path / "s"),
+        ])
+        assert code == 1
+        assert "cannot read --spec file" in capsys.readouterr().err
+
+    def test_invalid_spec_json_fails(self, tmp_path, capsys):
+        code = main([
+            "train", "--suite", "uci", "--dataset", "IR", "--scale", "0.5",
+            "--spec", "{not json", "--out", str(tmp_path / "s"),
+        ])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
 
 class TestEncode:
     def test_dataset_end_to_end(self, artifact, tmp_path, capsys):
@@ -156,7 +213,10 @@ class TestInfo:
     def test_json(self, artifact, capsys):
         import json
 
+        from repro.persistence import SCHEMA_VERSION
+
         assert main(["info", "--artifact", str(artifact), "--json"]) == 0
         manifest = json.loads(capsys.readouterr().out)
         assert manifest["kind"] == "framework"
-        assert manifest["schema_version"] == 1
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["spec"]["type"] == "framework"

@@ -1,0 +1,175 @@
+"""Tests for the declarative component registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.clustering import AffinityPropagation, DensityPeaks, KMeans
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.core.pipeline import ClusteringPipeline, Pipeline
+from repro.exceptions import ValidationError
+from repro.registry import ComponentRegistry
+
+
+class TestLookup:
+    def test_bare_name(self):
+        assert isinstance(registry.build("dp"), DensityPeaks)
+
+    def test_aliases(self):
+        assert registry.get_class("k-means", kind="clusterer") is KMeans
+        assert registry.get_class("density_peaks") is DensityPeaks
+        assert registry.get_class("slsgrbm") is registry.get_class("sls_grbm")
+
+    def test_kind_qualified_name(self):
+        assert registry.get_class("clusterer/kmeans") is KMeans
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown component"):
+            registry.build("dbscan")
+
+    def test_unknown_name_with_kind(self):
+        with pytest.raises(ValidationError, match="unknown clusterer"):
+            registry.build("dbscan", kind="clusterer")
+
+    def test_kinds(self):
+        assert set(registry.kinds()) == {
+            "clusterer", "model", "preprocessor", "framework", "pipeline"
+        }
+
+    def test_kind_of(self):
+        assert registry.kind_of(KMeans) == ("clusterer", "kmeans")
+        assert registry.kind_of(KMeans(2)) == ("clusterer", "kmeans")
+        with pytest.raises(ValidationError):
+            registry.kind_of(object())
+
+
+class TestBuild:
+    def test_params_forwarded(self):
+        clusterer = registry.build(
+            {"type": "kmeans", "params": {"n_clusters": 4, "n_init": 2}}
+        )
+        assert clusterer.n_clusters == 4
+        assert clusterer.n_init == 2
+
+    def test_overrides_win(self):
+        clusterer = registry.build(
+            {"type": "kmeans", "params": {"n_clusters": 4}}, n_clusters=7
+        )
+        assert clusterer.n_clusters == 7
+
+    def test_invalid_spec_entries(self):
+        with pytest.raises(ValidationError, match="unknown spec entries"):
+            registry.build({"type": "kmeans", "junk": 1})
+        with pytest.raises(ValidationError, match="no 'type'"):
+            registry.build({"params": {}})
+        with pytest.raises(ValidationError, match="name or a dict"):
+            registry.build(42)
+
+    def test_invalid_params_raise_like_constructor(self):
+        with pytest.raises(ValidationError):
+            registry.build({"type": "kmeans", "params": {"n_clusters": -1}})
+
+    def test_nested_framework_spec(self):
+        pipeline = registry.build({
+            "type": "clustering_pipeline",
+            "params": {
+                "clusterer": "kmeans",
+                "n_clusters": 3,
+                "framework": {
+                    "type": "framework",
+                    "params": {"config": {"model": "rbm", "n_hidden": 4},
+                               "n_clusters": 3},
+                },
+            },
+        })
+        assert isinstance(pipeline, ClusteringPipeline)
+        assert isinstance(pipeline.framework, SelfLearningEncodingFramework)
+        assert pipeline.framework.config.n_hidden == 4
+
+    def test_named_steps_in_lists(self):
+        pipeline = registry.build({
+            "type": "pipeline",
+            "params": {"steps": [
+                ["scale", {"type": "standardize"}],
+                ["cluster", {"type": "kmeans", "params": {"n_clusters": 2}}],
+            ]},
+        })
+        assert isinstance(pipeline, Pipeline)
+        assert list(pipeline.named_steps) == ["scale", "cluster"]
+
+    def test_build_clusterer_adapter(self):
+        ap = registry.build_clusterer("ap", 4, random_state=1)
+        assert isinstance(ap, AffinityPropagation)
+        assert ap.target_n_clusters == 4
+        dp = registry.build_clusterer("dp", 3, random_state=1)
+        assert dp.n_clusters == 3  # no random_state parameter: silently dropped
+
+
+class TestSpecOf:
+    def test_json_round_trip_through_text(self):
+        spec = registry.spec_of(KMeans(3, random_state=5))
+        rebuilt = registry.build(json.loads(json.dumps(spec)))
+        assert isinstance(rebuilt, KMeans)
+        assert rebuilt.n_clusters == 3
+        assert rebuilt.random_state == 5
+
+    def test_generator_random_state_dropped_to_none(self):
+        spec = registry.spec_of(KMeans(3, random_state=np.random.default_rng(0)))
+        json.dumps(spec)  # a live Generator must not leak into the spec
+        assert spec["params"]["random_state"] is None
+
+    def test_model_dtype_serialised_by_name(self):
+        from repro.rbm import GaussianRBM
+
+        spec = registry.spec_of(GaussianRBM(4, dtype="float32"))
+        assert spec["params"]["dtype"] == "float32"
+        assert registry.build(spec).dtype == np.dtype(np.float32)
+
+    def test_framework_config_serialised_as_dict(self):
+        framework = SelfLearningEncodingFramework(
+            {"model": "rbm", "n_hidden": 6}, n_clusters=3
+        )
+        spec = registry.spec_of(framework)
+        json.dumps(spec)
+        rebuilt = registry.build(spec)
+        assert rebuilt.config == framework.config
+        assert rebuilt.n_clusters == 3
+
+    def test_pipeline_steps_serialised(self):
+        pipeline = Pipeline([
+            ("scale", registry.build("standardize")),
+            ("cluster", KMeans(3, random_state=0)),
+        ])
+        spec = registry.spec_of(pipeline)
+        json.dumps(spec)
+        rebuilt = registry.build(spec)
+        assert list(rebuilt.named_steps) == ["scale", "cluster"]
+        assert rebuilt["cluster"].n_clusters == 3
+
+
+class TestCustomRegistration:
+    def test_decorator_and_duplicate_guard(self):
+        local = ComponentRegistry()
+
+        @local.register("clusterer", "always_zero")
+        class AlwaysZero(KMeans):
+            pass
+
+        assert local.get_class("always_zero") is AlwaysZero
+        with pytest.raises(ValidationError, match="already registered"):
+            local.register("clusterer", "always_zero", AlwaysZero)
+        local.register("clusterer", "always_zero", AlwaysZero, overwrite=True)
+
+    def test_lazy_path_registration(self):
+        local = ComponentRegistry()
+        local.register("clusterer", "km", "repro.clustering.kmeans:KMeans")
+        assert local.get_class("km") is KMeans
+
+    def test_bad_path_rejected(self):
+        local = ComponentRegistry()
+        with pytest.raises(ValidationError, match="module:Class"):
+            local.register("clusterer", "bad", "not-a-path")
