@@ -12,6 +12,11 @@ Four subcommands cover the train/serve lifecycle introduced by
   features and print every external metric; or, with ``--grid``, run a full
   dataset x algorithm experiment grid through :class:`ExperimentRunner`
   (optionally fanned out over ``--n-jobs`` worker processes);
+* ``serve``    — load one or more artifact bundles into an
+  :class:`~repro.serving.EncodingService` and serve them over JSON/HTTP
+  (``/encode``, ``/models``, ``/stats``, ``/healthz``) with concurrent
+  requests fused into shared matmuls by a
+  :class:`~repro.serving.BatchFuser`;
 * ``info``     — inspect an artifact bundle's manifest;
 * ``bench``    — run the tracked performance benchmarks and write
   ``BENCH_training.json``.
@@ -27,6 +32,7 @@ Examples
     python -m repro evaluate --artifact artifacts/ir --suite uci --dataset IR
     python -m repro evaluate --grid --suite uci --dataset IR,BCW \
         --algorithms "DP,K-means,K-means+slsRBM" --repeats 3 --n-jobs 4
+    python -m repro serve --artifact ir=artifacts/ir --port 8000
     python -m repro info --artifact artifacts/ir
     python -m repro bench --smoke --out BENCH_training.json
 """
@@ -306,6 +312,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_artifact_mappings(values: list[str]) -> dict[str, str]:
+    """``name=path`` pairs from repeated ``--artifact`` flags."""
+    mappings: dict[str, str] = {}
+    for value in values:
+        name, separator, path = value.partition("=")
+        if not separator or not name or not path:
+            raise ValidationError(
+                f"--artifact expects NAME=PATH, got {value!r}"
+            )
+        if name in mappings:
+            raise ValidationError(f"model name {name!r} given twice")
+        mappings[name] = path
+    return mappings
+
+
+def _build_serving_stack(args: argparse.Namespace):
+    """(service, fuser, server) assembled from the serve subcommand's flags.
+
+    Exposed separately from :func:`_cmd_serve` so tests and embedding code
+    can build the exact CLI-configured stack without running
+    ``serve_forever``.
+    """
+    from repro.serving import BatchFuser, EncodingService
+    from repro.serving.http import build_server
+
+    service = EncodingService(
+        max_batch_size=args.batch_size,
+        cache_entries=args.cache_entries,
+        dtype=args.dtype,
+    )
+    for name, path in _parse_artifact_mappings(args.artifact).items():
+        framework = service.load(name, path)
+        spec = getattr(framework, "spec", None)
+        if args.verbose and spec:  # pragma: no cover - cosmetic
+            print(f"loaded {name}: {json.dumps(spec, sort_keys=True)}")
+    fuser = None
+    if not args.no_fusion:
+        fuser = BatchFuser(
+            service,
+            max_batch_rows=args.max_batch_rows,
+            max_wait_ms=args.max_wait_ms,
+        )
+    server = build_server(
+        service,
+        fuser=fuser,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+    )
+    return service, fuser, server
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service, fuser, server = _build_serving_stack(args)
+    host, port = server.server_address[:2]
+    fusion = (
+        f"fusion: max_batch_rows={fuser.max_batch_rows}, "
+        f"max_wait_ms={fuser.max_wait_ms}"
+        if fuser is not None
+        else "fusion: disabled"
+    )
+    print(f"serving {len(service)} model(s) {service.model_names} "
+          f"on http://{host}:{port} ({fusion})")
+    print("routes: POST /encode, GET /models, GET /stats, GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    finally:
+        server.server_close()
+        if fuser is not None:
+            fuser.close()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.persistence import read_manifest
 
@@ -426,6 +507,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "fmi", "nmi"),
                       help="metric printed for the grid table")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve artifact bundles over JSON/HTTP with batch fusion"
+    )
+    serve.add_argument(
+        "--artifact",
+        action="append",
+        required=True,
+        metavar="NAME=PATH",
+        help="artifact bundle to serve under NAME (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 picks an ephemeral one; default: 8000)")
+    serve.add_argument("--batch-size", type=int, default=4096,
+                       help="serving micro-batch size (rows per matmul chunk)")
+    serve.add_argument("--cache-entries", type=int, default=64,
+                       help="LRU feature cache capacity (0 disables)")
+    serve.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                       help="serving precision (default: each model's "
+                            "training dtype)")
+    fusion = serve.add_argument_group("batch fusion")
+    fusion.add_argument("--no-fusion", action="store_true",
+                        help="encode each request individually instead of "
+                             "fusing concurrent ones")
+    fusion.add_argument("--max-batch-rows", type=int, default=4096,
+                        help="rows that trigger an immediate fused flush")
+    fusion.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="max milliseconds a request may wait to be "
+                             "coalesced (0 flushes immediately)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+    serve.set_defaults(func=_cmd_serve)
 
     info = subparsers.add_parser("info", help="print an artifact's manifest summary")
     info.add_argument("--artifact", required=True)

@@ -5,14 +5,22 @@ split introduced by :mod:`repro.persistence`: artifacts are loaded once into
 a named registry and then answer repeated ``encode(name, X)`` requests with
 micro-batching for large inputs, an LRU feature cache keyed on the input
 digest, and per-model latency/throughput counters.
+
+On top of it, :class:`BatchFuser` coalesces *concurrent* requests from many
+threads into single fused matmuls (bit-identical to unfused serving), and
+:mod:`repro.serving.http` exposes the whole stack over JSON/HTTP via
+``python -m repro serve``.
 """
 
 from repro.serving.cache import LRUFeatureCache, input_digest
+from repro.serving.fusion import BatchFuser, FusionTicket
 from repro.serving.service import EncodingService
 from repro.serving.stats import ModelStats
 
 __all__ = [
+    "BatchFuser",
     "EncodingService",
+    "FusionTicket",
     "LRUFeatureCache",
     "ModelStats",
     "input_digest",

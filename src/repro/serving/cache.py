@@ -4,11 +4,31 @@ Identical encode requests are frequent in clustering workloads (the same
 feature matrix is clustered by several downstream algorithms, or re-scored
 under several metrics), so the service memoises encoded features keyed on a
 content digest of the input matrix.
+
+Thread-safety audit (single mutex)
+----------------------------------
+The cache is hit concurrently by HTTP handler threads and by whichever
+client thread leads a :class:`~repro.serving.fusion.BatchFuser` flush, so
+every operation that reads *or* writes the ordered dict — including the
+hit/miss/lookup counters, which previously raced under free threading — runs
+under one instance-level :class:`threading.Lock`.  A single mutex (rather
+than lock striping) is deliberate: the critical sections are dict moves and
+integer bumps, orders of magnitude cheaper than the matmuls they guard, so
+striping would buy contention relief nobody can measure while making the
+conservation invariant below much harder to audit.
+
+Invariants (asserted by the stress tests):
+
+* ``hits + misses == lookups`` at every quiescent point;
+* ``len(cache) <= max_entries`` always;
+* a ``put`` is never lost: after a quiescent ``put(k, v)`` with no capacity
+  eviction, ``get(k)`` returns the value.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -34,7 +54,7 @@ def input_digest(data: np.ndarray) -> str:
 
 
 class LRUFeatureCache:
-    """Bounded mapping of cache keys to feature matrices, LRU eviction.
+    """Bounded thread-safe mapping of cache keys to feature matrices.
 
     Parameters
     ----------
@@ -48,47 +68,67 @@ class LRUFeatureCache:
             raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.lookups = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: object) -> np.ndarray | None:
         """Cached features for ``key`` (marking it most recently used)."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            self.lookups += 1
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: object, value: np.ndarray) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if needed."""
         # Cached arrays are shared across callers; store a frozen private
         # copy so neither the producer mutating its result nor a consumer
-        # mutating a cache hit can poison later hits.
+        # mutating a cache hit can poison later hits.  The copy happens
+        # outside the lock — it is the only expensive part of a put.
         value = np.array(value)
         value.setflags(write=False)
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def evict(self, predicate) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns the count."""
-        stale = [key for key in self._entries if predicate(key)]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> dict[str, int]:
+        """A consistent ``{hits, misses, lookups, entries}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "lookups": self.lookups,
+                "entries": len(self._entries),
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,230 @@
+"""HTTP front end for the serving stack: ``python -m repro serve``.
+
+A deliberately dependency-free JSON-over-HTTP layer built on the stdlib
+:class:`http.server.ThreadingHTTPServer` — one handler thread per
+connection, which is exactly the concurrency shape the
+:class:`~repro.serving.fusion.BatchFuser` coalesces: simultaneous ``/encode``
+requests for the same model are answered by shared fused matmuls.
+
+Routes
+------
+``GET /healthz``
+    Liveness probe: ``{"status": "ok", "models": [...]}``.
+``GET /models``
+    Registered model names and per-model serving configuration.
+``GET /stats``
+    Per-model counters (including the queue/compute split and fusion
+    ratio), cache counters and the fuser configuration.
+``POST /encode``
+    Body ``{"model": name, "data": [[...], ...], "use_cache": true}``;
+    responds ``{"features": [[...], ...], "shape": [n, k], "dtype": ...}``.
+
+Error mapping: unknown model name → 404, invalid input or body → 400,
+anything else → 500; every error body is ``{"error": message}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.exceptions import ServingError, ValidationError
+from repro.serving.fusion import BatchFuser
+from repro.serving.service import EncodingService
+
+__all__ = ["EncodingHTTPServer", "build_server"]
+
+#: Reject request bodies larger than this many bytes (64 MiB of JSON text).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _EncodingRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service: EncodingService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "models": service.model_names}
+            )
+        elif self.path == "/models":
+            self._send_json(200, {"models": self.server.describe_models()})  # type: ignore[attr-defined]
+        elif self.path == "/stats":
+            self._send_json(200, self.server.describe_stats())  # type: ignore[attr-defined]
+        else:
+            self._send_error_json(404, f"unknown route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/encode":
+            # Drain (or close past) the unread body so the keep-alive
+            # connection stays in sync for the client's next request.
+            length = int(self.headers.get("Content-Length", 0))
+            if 0 < length <= MAX_BODY_BYTES:
+                self.rfile.read(length)
+            elif length > 0:
+                self.close_connection = True
+            self._send_error_json(404, f"unknown route {self.path!r}")
+            return
+        try:
+            request = self._read_json_body()
+            response = self.server.handle_encode(request)  # type: ignore[attr-defined]
+        except ServingError as exc:
+            self._send_error_json(404, str(exc))
+        except (ValidationError, ValueError, TypeError) as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(200, response)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValidationError("POST /encode requires a JSON body")
+        if length > MAX_BODY_BYTES:
+            # The unread body would desync a keep-alive connection (the next
+            # request line would be parsed out of the body bytes), so force
+            # this connection closed after the error response.
+            self.close_connection = True
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        return payload
+
+
+class EncodingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server wrapping an :class:`EncodingService`.
+
+    Parameters
+    ----------
+    address : (host, port)
+        Bind address; port 0 picks an ephemeral port (``server_port`` holds
+        the bound one).
+    service : EncodingService
+        The model registry answering the requests.
+    fuser : BatchFuser, optional
+        When given, ``/encode`` requests go through the fusion queue so
+        concurrent requests for the same model share one matmul; without
+        it each request is encoded directly.
+    verbose : bool, default False
+        Log one line per request to stderr (stdlib format).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: EncodingService,
+        *,
+        fuser: BatchFuser | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.fuser = fuser
+        self.verbose = verbose
+        super().__init__(address, _EncodingRequestHandler)
+
+    # ------------------------------------------------------------ handlers
+    def handle_encode(self, request: dict) -> dict:
+        name = request.get("model")
+        if not isinstance(name, str) or not name:
+            raise ValidationError("request must name a 'model' (non-empty string)")
+        if "data" not in request:
+            raise ValidationError("request must carry a 'data' matrix")
+        data = np.asarray(request["data"], dtype=float)
+        use_cache = bool(request.get("use_cache", True))
+        used_fuser = self.fuser is not None and use_cache == self.fuser.use_cache
+        if used_fuser:
+            features = self.fuser.encode(name, data)
+        else:
+            features = self.service.encode(name, data, use_cache=use_cache)
+        return {
+            "model": name,
+            "features": features.tolist(),
+            "shape": list(features.shape),
+            "dtype": str(features.dtype),
+            "fused": used_fuser,
+        }
+
+    def describe_models(self) -> dict:
+        models = {}
+        for name in self.service.model_names:
+            runtime = self.service._models.get(name)
+            if runtime is None:  # unregistered between snapshot and read
+                continue
+            models[name] = {
+                "estimator": type(runtime.estimator).__name__,
+                "fast_path": runtime.has_fast_path,
+                "n_features": (
+                    int(runtime.weights.shape[0]) if runtime.has_fast_path else None
+                ),
+                "n_hidden": (
+                    int(runtime.weights.shape[1]) if runtime.has_fast_path else None
+                ),
+                "dtype": (
+                    str(runtime.weights.dtype) if runtime.has_fast_path else None
+                ),
+            }
+        return models
+
+    def describe_stats(self) -> dict:
+        payload = {
+            "models": self.service.stats(),
+            "cache": self.service.cache_info,
+            "fusion": None,
+        }
+        if self.fuser is not None:
+            payload["fusion"] = {
+                "max_batch_rows": self.fuser.max_batch_rows,
+                "max_wait_ms": self.fuser.max_wait_ms,
+                "use_cache": self.fuser.use_cache,
+            }
+        return payload
+
+    # ------------------------------------------------------------ lifecycle
+    def shutdown(self) -> None:
+        if self.fuser is not None:
+            self.fuser.close()
+        super().shutdown()
+
+
+def build_server(
+    service: EncodingService,
+    *,
+    fuser: BatchFuser | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = False,
+) -> EncodingHTTPServer:
+    """Bind an :class:`EncodingHTTPServer` (port 0 → ephemeral port)."""
+    return EncodingHTTPServer(
+        (host, port), service, fuser=fuser, verbose=verbose
+    )

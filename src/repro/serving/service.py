@@ -18,14 +18,25 @@ rather than in the models:
 * **feature caching** — results are memoised in an LRU cache keyed on a
   content digest of the input, so repeated encodes of the same matrix (the
   common clustering-evaluation pattern) are free;
-* **observability** — per-model latency/throughput counters.
+* **batch fusion** — :meth:`EncodingService.encode_many` answers several
+  requests with one stacked forward pass (one matmul instead of N); the
+  concurrent coalescing front end lives in :mod:`repro.serving.fusion`;
+* **observability** — per-model latency/throughput counters with the queue
+  wait accounted separately from model compute.
+
+Thread-safety: the service may be driven from many threads (the HTTP front
+end, the batch fuser, plain concurrent callers).  Each registered model owns
+a compute lock serialising access to its scratch buffer, the LRU cache uses
+a single internal mutex, and the per-model counters lock themselves; the
+registry itself is guarded by a service-level mutex.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -35,7 +46,7 @@ from repro.persistence import load_framework
 from repro.serving.cache import LRUFeatureCache, input_digest
 from repro.serving.stats import ModelStats
 from repro.utils.numerics import sigmoid
-from repro.utils.validation import check_array, check_positive_int
+from repro.utils.validation import _all_finite, check_array, check_positive_int
 
 __all__ = ["EncodingService"]
 
@@ -51,6 +62,12 @@ class _ModelRuntime:
     def __init__(self, estimator, serve_dtype: np.dtype | None) -> None:
         self.estimator = estimator
         self.serve_dtype = serve_dtype
+        # Serialises compute on this model: the scratch buffer is shared, so
+        # two threads running encode_chunk at once would overwrite each
+        # other's pre-activations.  (The fuser's per-request fallback runs
+        # after a failed fused pass has released this lock, so no path
+        # re-enters it and a plain Lock suffices.)
+        self.lock = threading.Lock()
         model = getattr(estimator, "model_", None)
         if model is None and hasattr(estimator, "weights_"):
             model = estimator  # a bare fitted RBM
@@ -58,6 +75,11 @@ class _ModelRuntime:
         self.weights = None
         self.hidden_bias = None
         self._scratch = None
+        # Hoisted once so the per-request fused loop pays no hasattr/getattr.
+        self.preprocess = getattr(estimator, "preprocess", None)
+        #: Registration generation, set by the service; part of the cache
+        #: key so entries of a replaced runtime can never hit.
+        self.cache_tag = 0
         if self.model is not None:
             dtype = serve_dtype or self.model.weights_.dtype
             self.weights = np.ascontiguousarray(self.model.weights_, dtype=dtype)
@@ -66,6 +88,24 @@ class _ModelRuntime:
     @property
     def has_fast_path(self) -> bool:
         return self.weights is not None
+
+    def prepare(self, data: np.ndarray) -> np.ndarray:
+        """Per-request preprocess + dtype cast + width check (fast path).
+
+        The single source of this sequence for both the unfused and the
+        fused compute paths — bit-equivalence between them depends on the
+        preparation being identical, so it must not be duplicated.
+        """
+        matrix = self.preprocess(data) if self.preprocess is not None else data
+        dtype = self.weights.dtype
+        if not isinstance(matrix, np.ndarray) or matrix.dtype != dtype:
+            matrix = np.asarray(matrix, dtype=dtype)
+        if matrix.shape[1] != self.weights.shape[0]:
+            raise ValidationError(
+                f"data has {matrix.shape[1]} features but the model "
+                f"expects {self.weights.shape[0]}"
+            )
+        return matrix
 
     def scratch(self, n_rows: int) -> np.ndarray:
         """A reusable ``(n_rows, n_hidden)`` pre-activation buffer."""
@@ -136,6 +176,8 @@ class EncodingService:
         self._clock = clock
         self._models: dict[str, _ModelRuntime] = {}
         self._stats: dict[str, ModelStats] = {}
+        self._registry_lock = threading.Lock()
+        self._generation = 0
 
     # ---------------------------------------------------------------- registry
     def register(self, name: str, estimator) -> "EncodingService":
@@ -163,8 +205,16 @@ class EncodingService:
         name = str(name)
         if not name:
             raise ValidationError("model name must be a non-empty string")
-        self._models[name] = _ModelRuntime(estimator, self.dtype)
-        self._stats[name] = ModelStats()
+        runtime = _ModelRuntime(estimator, self.dtype)
+        with self._registry_lock:
+            self._generation += 1
+            # The generation is part of every cache key, so features computed
+            # against a replaced runtime can never be served as hits of its
+            # successor — even if a slow encode's cache.put lands after the
+            # re-registration ran _evict_cached.
+            runtime.cache_tag = self._generation
+            self._models[name] = runtime
+            self._stats[name] = ModelStats()
         self._evict_cached(name)
         return self
 
@@ -175,26 +225,38 @@ class EncodingService:
         return framework
 
     def unregister(self, name: str) -> None:
-        """Remove a model (and its cached features and counters)."""
-        self.get(name)  # raises ServingError for unknown names
-        del self._models[name]
-        del self._stats[name]
+        """Remove a model (and its cached features and counters).
+
+        Atomic pop-under-lock: when two threads race to unregister the same
+        name, exactly one wins and the other gets the same ServingError an
+        unknown name would.
+        """
+        with self._registry_lock:
+            runtime = self._models.pop(name, None)
+            self._stats.pop(name, None)
+        if runtime is None:
+            self._raise_unknown(name)
         self._evict_cached(name)
 
     def get(self, name: str):
         """The registered estimator for ``name``."""
-        try:
-            return self._models[name].estimator
-        except KeyError:
-            raise ServingError(
-                f"no model registered under {name!r}; "
-                f"available: {sorted(self._models)}"
-            ) from None
+        runtime = self._models.get(name)
+        if runtime is None:
+            self._raise_unknown(name)
+        return runtime.estimator
+
+    def _raise_unknown(self, name: str) -> None:
+        with self._registry_lock:
+            available = sorted(self._models)
+        raise ServingError(
+            f"no model registered under {name!r}; available: {available}"
+        )
 
     @property
     def model_names(self) -> list[str]:
         """Registered model names, sorted."""
-        return sorted(self._models)
+        with self._registry_lock:
+            return sorted(self._models)
 
     def __contains__(self, name: str) -> bool:
         return name in self._models
@@ -211,14 +273,13 @@ class EncodingService:
         preprocessing.  Cached results are returned as read-only arrays —
         copy before mutating.
         """
-        runtime = self._runtime(name)
+        runtime, stats = self._entry(name)
         data = check_array(data, name="data")
-        stats = self._stats[name]
         start = self._clock()
 
         key = None
         if use_cache and self._cache is not None:
-            key = (name, input_digest(data))
+            key = (name, runtime.cache_tag, input_digest(data))
             cached = self._cache.get(key)
             if cached is not None:
                 stats.record(
@@ -228,7 +289,10 @@ class EncodingService:
                 )
                 return cached
 
-        features, n_batches = self._compute(runtime, data)
+        with runtime.lock:
+            compute_start = self._clock()
+            features, n_batches = self._compute(runtime, data)
+            compute_seconds = self._clock() - compute_start
 
         if key is not None:
             self._cache.put(key, features)
@@ -237,23 +301,201 @@ class EncodingService:
             seconds=self._clock() - start,
             cache_hit=False,
             n_batches=n_batches,
+            compute_seconds=compute_seconds,
         )
         return features
 
-    def _compute(self, runtime: _ModelRuntime, data: np.ndarray):
-        estimator = runtime.estimator
-        if runtime.has_fast_path:
-            preprocessed = (
-                estimator.preprocess(data)
-                if hasattr(estimator, "preprocess")
-                else data
+    def encode_many(
+        self,
+        name: str,
+        batches: Sequence[np.ndarray],
+        *,
+        use_cache: bool = True,
+        queue_seconds: Sequence[float] | None = None,
+        validate: bool = True,
+    ) -> list[np.ndarray]:
+        """Answer several encode requests with one fused forward pass.
+
+        The request matrices are preprocessed *individually* (preprocessing
+        may be data-dependent, so fusing it would change results), stacked
+        into one matrix, pushed through the model in a single micro-batched
+        matmul chain, and scattered back — each returned array is
+        bit-identical to ``encode(name, batch)`` for the same input.  Models
+        without the framework/RBM fast path (generic pipelines) cannot be
+        stacked safely and fall back to per-request encodes.
+
+        Parameters
+        ----------
+        batches : sequence of ndarray
+            One 2-D input matrix per request.  They must all have the same
+            feature width; rows may differ freely.
+        use_cache : bool, default True
+            Consult/populate the LRU feature cache per request, exactly as
+            ``encode`` does — cached requests are excluded from the fused
+            pass.
+        queue_seconds : sequence of float, optional
+            Per-request coalescing wait (supplied by the batch fuser) folded
+            into the latency counters; defaults to zero.
+        validate : bool, default True
+            Run ``check_array`` on every batch.  The batch fuser validates
+            at submit time and passes ``False`` so the hot path does not pay
+            for validation twice.
+
+        Returns
+        -------
+        list of ndarray
+            Features per request, in input order.  Fused results may be
+            read-write views into one shared output matrix (each request
+            owns a disjoint row span), so they stay valid and independent
+            but share a base buffer.
+        """
+        runtime, stats = self._entry(name)
+        # Models without the fast path run estimator.transform directly, so
+        # the deferred stacked finiteness check never happens for them —
+        # always validate those fully, even when the fuser pre-checked shape.
+        if validate or not runtime.has_fast_path:
+            batches = [check_array(batch, name="data") for batch in batches]
+        if queue_seconds is None:
+            queue_seconds = [0.0] * len(batches)
+        elif len(queue_seconds) != len(batches):
+            raise ValidationError(
+                f"queue_seconds has {len(queue_seconds)} entries for "
+                f"{len(batches)} batches"
             )
-            preprocessed = np.asarray(preprocessed, dtype=runtime.weights.dtype)
-            if preprocessed.shape[1] != runtime.weights.shape[0]:
-                raise ValidationError(
-                    f"data has {preprocessed.shape[1]} features but the model "
-                    f"expects {runtime.weights.shape[0]}"
+        start = self._clock()
+
+        n_requests = len(batches)
+        results: list[np.ndarray | None] = [None] * n_requests
+        if not use_cache or self._cache is None:
+            keys: list[tuple | None] | None = None
+            hit_mask = None
+            miss_indices = list(range(n_requests))
+        else:
+            keys = [None] * n_requests
+            hit_mask = [False] * n_requests
+            miss_indices = []
+            for index, batch in enumerate(batches):
+                key = (name, runtime.cache_tag, input_digest(batch))
+                keys[index] = key
+                cached = self._cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    hit_mask[index] = True
+                else:
+                    miss_indices.append(index)
+
+        n_batches_run = 0
+        batches_by_index: dict[int, int] = {}
+        compute_seconds = 0.0
+        fused = False
+        if miss_indices:
+            with runtime.lock:
+                compute_start = self._clock()
+                if runtime.has_fast_path:
+                    fused = True
+                    n_batches_run = self._compute_fused(
+                        runtime, batches, miss_indices, results
+                    )
+                else:
+                    for index in miss_indices:
+                        results[index], ran = self._compute(runtime, batches[index])
+                        batches_by_index[index] = ran
+                        n_batches_run += ran
+                compute_seconds = self._clock() - compute_start
+            if keys is not None:
+                for index in miss_indices:
+                    self._cache.put(keys[index], results[index])
+
+        end = self._clock()
+        elapsed = end - start
+        total_queue = float(sum(queue_seconds))
+        if fused:
+            # One locked aggregate update for the whole flush: the shared
+            # compute time is booked once, each request's latency is its
+            # queue wait plus the flush wall clock.
+            n_rows = sum(batch.shape[0] for batch in batches)
+            n_hit_rows = (
+                sum(batch.shape[0] for batch, hit in zip(batches, hit_mask) if hit)
+                if hit_mask is not None
+                else 0
+            )
+            stats.record_flush(
+                len(miss_indices),
+                n_hits=len(batches) - len(miss_indices),
+                n_samples=n_rows,
+                n_hit_samples=n_hit_rows,
+                n_batches=n_batches_run,
+                total_seconds=total_queue + elapsed * len(batches),
+                queue_seconds=total_queue,
+                compute_seconds=compute_seconds,
+                last_latency_seconds=float(queue_seconds[-1]) + elapsed,
+            )
+        else:
+            for index, batch in enumerate(batches):
+                own_compute = (
+                    compute_seconds
+                    if miss_indices and index == miss_indices[0]
+                    else 0.0
                 )
+                stats.record(
+                    n_samples=batch.shape[0],
+                    seconds=float(queue_seconds[index]) + elapsed,
+                    cache_hit=hit_mask[index] if hit_mask is not None else False,
+                    n_batches=batches_by_index.get(index, 0),
+                    queue_seconds=float(queue_seconds[index]),
+                    compute_seconds=own_compute,
+                )
+        return list(results)
+
+    def _compute_fused(
+        self,
+        runtime: _ModelRuntime,
+        batches: Sequence[np.ndarray],
+        miss_indices: Sequence[int],
+        results: list,
+    ) -> int:
+        """Stacked forward pass over the cache-missing batches.
+
+        Each batch is preprocessed on its own (bit-equivalence with unfused
+        serving), the preprocessed rows are stacked, one micro-batched
+        matmul+bias+sigmoid chain runs over the stack, and the output rows
+        are scattered back into ``results``.  Returns the number of
+        micro-batches executed.
+        """
+        dtype = runtime.weights.dtype
+        prepare = runtime.prepare
+        preprocessed = [prepare(batches[index]) for index in miss_indices]
+
+        stacked = (
+            preprocessed[0]
+            if len(preprocessed) == 1
+            else np.concatenate(preprocessed, axis=0)
+        )
+        if not _all_finite(stacked):
+            # The light submit-side validation defers the elementwise
+            # finiteness scan to one reduction over the stacked matrix; a
+            # failure here is isolated per request by the fuser's fallback.
+            raise ValidationError("data contains NaN or infinite values")
+        total_rows = stacked.shape[0]
+        fused_out = np.empty((total_rows, runtime.weights.shape[1]), dtype=dtype)
+        n_batches = 0
+        for start_row in range(0, total_rows, self.max_batch_size):
+            chunk = stacked[start_row : start_row + self.max_batch_size]
+            runtime.encode_chunk(
+                chunk, fused_out[start_row : start_row + chunk.shape[0]]
+            )
+            n_batches += 1
+        offset = 0
+        for index, matrix in zip(miss_indices, preprocessed):
+            rows = matrix.shape[0]
+            # Disjoint row views into the shared output: no per-request copy.
+            results[index] = fused_out[offset : offset + rows]
+            offset += rows
+        return max(n_batches, 1)
+
+    def _compute(self, runtime: _ModelRuntime, data: np.ndarray):
+        if runtime.has_fast_path:
+            preprocessed = runtime.prepare(data)
             n_samples = preprocessed.shape[0]
             features = np.empty(
                 (n_samples, runtime.weights.shape[1]), dtype=runtime.weights.dtype
@@ -282,33 +524,38 @@ class EncodingService:
         """Populate the cache for ``data`` without returning the features."""
         self.encode(name, data)
 
-    def _runtime(self, name: str) -> _ModelRuntime:
-        self.get(name)  # raises ServingError for unknown names
-        return self._models[name]
-
-    def _iter_batches(self, data: np.ndarray) -> Iterator[np.ndarray]:
-        for start in range(0, data.shape[0], self.max_batch_size):
-            yield data[start : start + self.max_batch_size]
+    def _entry(self, name: str) -> tuple[_ModelRuntime, ModelStats]:
+        """Runtime and stats fetched atomically vs a concurrent unregister."""
+        with self._registry_lock:
+            runtime = self._models.get(name)
+            stats = self._stats.get(name)
+        if runtime is None or stats is None:
+            self._raise_unknown(name)
+        return runtime, stats
 
     # ------------------------------------------------------------ observability
     def stats(self, name: str | None = None) -> dict:
         """Counters for one model, or for all models keyed by name."""
         if name is not None:
-            self.get(name)
-            return self._stats[name].as_dict()
-        return {model: stats.as_dict() for model, stats in self._stats.items()}
+            return self._entry(name)[1].as_dict()
+        with self._registry_lock:
+            snapshot = list(self._stats.items())
+        return {model: stats.as_dict() for model, stats in snapshot}
 
     @property
     def cache_info(self) -> dict[str, int]:
-        """Global cache occupancy and hit/miss counters."""
+        """Global cache occupancy and hit/miss counters (consistent snapshot)."""
         if self._cache is None:
-            return {"entries": 0, "max_entries": 0, "hits": 0, "misses": 0}
-        return {
-            "entries": len(self._cache),
-            "max_entries": self._cache.max_entries,
-            "hits": self._cache.hits,
-            "misses": self._cache.misses,
-        }
+            return {
+                "entries": 0,
+                "max_entries": 0,
+                "hits": 0,
+                "misses": 0,
+                "lookups": 0,
+            }
+        counters = self._cache.counters()  # one lock: hits+misses==lookups holds
+        counters["max_entries"] = self._cache.max_entries
+        return counters
 
     def _evict_cached(self, name: str) -> None:
         if self._cache is not None:

@@ -1,8 +1,27 @@
-"""Per-model request counters exposed by :class:`repro.serving.EncodingService`."""
+"""Per-model request counters exposed by :class:`repro.serving.EncodingService`.
+
+The counters are updated from many threads at once (the HTTP front end runs
+one handler thread per connection and the :class:`~repro.serving.fusion.
+BatchFuser` flushes from whichever client thread becomes the leader), so
+every mutation happens under a per-instance mutex.  Reads through
+:meth:`as_dict` take the same mutex and therefore return a consistent
+snapshot.
+
+Two timing axes are tracked per request:
+
+* **queue seconds** — time a request spent waiting to be computed (zero for
+  direct ``encode`` calls, the coalescing wait for fused requests);
+* **compute seconds** — time spent inside the model forward pass.
+
+``total_seconds`` remains the end-to-end wall clock of the request as the
+caller experienced it (queue + compute + bookkeeping), so the pre-existing
+latency/throughput derived metrics keep their meaning.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 __all__ = ["ModelStats"]
 
@@ -23,8 +42,17 @@ class ModelStats:
         Rows that actually went through the model (cache misses only).
     n_batches : int
         Micro-batches executed by the model.
+    n_flushes : int
+        Fused flushes executed (each flush runs one stacked forward pass
+        over every coalesced request).
+    n_fused_requests : int
+        Requests that were answered by a fused flush.
     total_seconds : float
         Wall-clock time spent inside ``encode`` (hits and misses).
+    total_queue_seconds : float
+        Time requests spent queued before compute started.
+    total_compute_seconds : float
+        Time spent inside the model forward pass.
     last_latency_seconds : float
         Duration of the most recent request.
     """
@@ -34,8 +62,15 @@ class ModelStats:
     n_samples: int = 0
     n_encoded_samples: int = 0
     n_batches: int = 0
+    n_flushes: int = 0
+    n_fused_requests: int = 0
     total_seconds: float = 0.0
+    total_queue_seconds: float = 0.0
+    total_compute_seconds: float = 0.0
     last_latency_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -44,44 +79,130 @@ class ModelStats:
         seconds: float,
         cache_hit: bool,
         n_batches: int = 0,
+        queue_seconds: float = 0.0,
+        compute_seconds: float = 0.0,
     ) -> None:
-        """Account one ``encode`` request."""
-        self.n_requests += 1
-        self.n_samples += int(n_samples)
-        self.total_seconds += float(seconds)
-        self.last_latency_seconds = float(seconds)
-        if cache_hit:
-            self.n_cache_hits += 1
-        else:
-            self.n_encoded_samples += int(n_samples)
+        """Account one individually-computed ``encode`` request (thread-safe).
+
+        Fused requests are accounted in aggregate by :meth:`record_flush`.
+        """
+        with self._lock:
+            self.n_requests += 1
+            self.n_samples += int(n_samples)
+            self.total_seconds += float(seconds)
+            self.total_queue_seconds += float(queue_seconds)
+            self.total_compute_seconds += float(compute_seconds)
+            self.last_latency_seconds = float(seconds)
+            if cache_hit:
+                self.n_cache_hits += 1
+            else:
+                self.n_encoded_samples += int(n_samples)
+                self.n_batches += int(n_batches)
+
+    def record_flush(
+        self,
+        n_fused: int,
+        *,
+        n_hits: int = 0,
+        n_samples: int = 0,
+        n_hit_samples: int = 0,
+        n_batches: int = 0,
+        total_seconds: float = 0.0,
+        queue_seconds: float = 0.0,
+        compute_seconds: float = 0.0,
+        last_latency_seconds: float = 0.0,
+    ) -> None:
+        """Account one fused flush and all the requests it answered.
+
+        Equivalent to ``n_fused + n_hits`` individual :meth:`record` calls
+        plus one flush, but under a single lock acquisition — the flush path
+        answers many requests per call, so per-request locking would put the
+        mutex on the serving hot path for no benefit.
+        """
+        with self._lock:
+            self.n_flushes += 1
+            self.n_requests += int(n_fused) + int(n_hits)
+            self.n_cache_hits += int(n_hits)
+            self.n_fused_requests += int(n_fused)
+            self.n_samples += int(n_samples)
+            self.n_encoded_samples += int(n_samples) - int(n_hit_samples)
             self.n_batches += int(n_batches)
+            self.total_seconds += float(total_seconds)
+            self.total_queue_seconds += float(queue_seconds)
+            self.total_compute_seconds += float(compute_seconds)
+            if n_fused or n_hits:
+                self.last_latency_seconds = float(last_latency_seconds)
+
+    @staticmethod
+    def _ratio(numerator: float, denominator: float) -> float:
+        """``numerator / denominator`` with idle (zero) denominators -> 0."""
+        return numerator / denominator if denominator else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of requests answered from the cache (0 when idle)."""
-        return self.n_cache_hits / self.n_requests if self.n_requests else 0.0
+        return self._ratio(self.n_cache_hits, self.n_requests)
 
     @property
     def mean_latency_seconds(self) -> float:
         """Average wall-clock seconds per request (0 when idle)."""
-        return self.total_seconds / self.n_requests if self.n_requests else 0.0
+        return self._ratio(self.total_seconds, self.n_requests)
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        """Average seconds a request waited before compute (0 when idle)."""
+        return self._ratio(self.total_queue_seconds, self.n_requests)
 
     @property
     def throughput_samples_per_second(self) -> float:
         """Rows served per second of encode time (0 when idle)."""
-        return self.n_samples / self.total_seconds if self.total_seconds else 0.0
+        return self._ratio(self.n_samples, self.total_seconds)
+
+    @property
+    def fusion_ratio(self) -> float:
+        """Average requests answered per fused flush (0 when no flush ran).
+
+        A ratio near the number of concurrent clients means coalescing is
+        working; a ratio of 1.0 means every flush served a single request
+        and fusion is buying nothing.
+        """
+        return self._ratio(self.n_fused_requests, self.n_flushes)
 
     def as_dict(self) -> dict[str, float | int]:
-        """Flat dictionary for reports, logs and the CLI."""
-        return {
-            "n_requests": self.n_requests,
-            "n_cache_hits": self.n_cache_hits,
-            "n_samples": self.n_samples,
-            "n_encoded_samples": self.n_encoded_samples,
-            "n_batches": self.n_batches,
-            "total_seconds": self.total_seconds,
-            "last_latency_seconds": self.last_latency_seconds,
-            "cache_hit_rate": self.cache_hit_rate,
-            "mean_latency_seconds": self.mean_latency_seconds,
-            "throughput_samples_per_second": self.throughput_samples_per_second,
-        }
+        """Flat consistent snapshot for reports, logs, the CLI and HTTP.
+
+        The raw counters are captured under the lock; the derived metrics
+        are then computed from the snapshot with the same ``_ratio`` helper
+        the properties use, so the formulas exist exactly once.
+        """
+        with self._lock:
+            snapshot = {
+                "n_requests": self.n_requests,
+                "n_cache_hits": self.n_cache_hits,
+                "n_samples": self.n_samples,
+                "n_encoded_samples": self.n_encoded_samples,
+                "n_batches": self.n_batches,
+                "n_flushes": self.n_flushes,
+                "n_fused_requests": self.n_fused_requests,
+                "total_seconds": self.total_seconds,
+                "total_queue_seconds": self.total_queue_seconds,
+                "total_compute_seconds": self.total_compute_seconds,
+                "last_latency_seconds": self.last_latency_seconds,
+            }
+        ratio = self._ratio
+        snapshot["cache_hit_rate"] = ratio(
+            snapshot["n_cache_hits"], snapshot["n_requests"]
+        )
+        snapshot["mean_latency_seconds"] = ratio(
+            snapshot["total_seconds"], snapshot["n_requests"]
+        )
+        snapshot["mean_queue_seconds"] = ratio(
+            snapshot["total_queue_seconds"], snapshot["n_requests"]
+        )
+        snapshot["throughput_samples_per_second"] = ratio(
+            snapshot["n_samples"], snapshot["total_seconds"]
+        )
+        snapshot["fusion_ratio"] = ratio(
+            snapshot["n_fused_requests"], snapshot["n_flushes"]
+        )
+        return snapshot

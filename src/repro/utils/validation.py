@@ -23,6 +23,20 @@ __all__ = [
 ]
 
 
+def _all_finite(arr: np.ndarray) -> bool:
+    """Whether every element of a float array is finite.
+
+    Fast path: NaN/inf propagate into the sum, so one SIMD reduction decides
+    the common all-finite case without materialising an elementwise boolean
+    mask.  A sum over genuinely finite values can still overflow to inf, so
+    a non-finite sum falls back to the exact elementwise check rather than
+    rejecting the data outright.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        total = arr.sum()
+    return bool(np.isfinite(total)) or bool(np.all(np.isfinite(arr)))
+
+
 def check_array(
     x,
     *,
@@ -46,7 +60,7 @@ def check_array(
         )
     if not allow_empty and arr.size == 0:
         raise ValidationError(f"{name} must not be empty")
-    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+    if np.issubdtype(arr.dtype, np.floating) and not _all_finite(arr):
         raise ValidationError(f"{name} contains NaN or infinite values")
     return arr
 

@@ -1,0 +1,176 @@
+"""General hypothesis property suite for the external clustering metrics.
+
+Extends the PR 2 relabelling-invariance regression (kept in
+``test_metric_properties.py``) into a systematic suite over
+``repro.metrics``:
+
+* **range bounds** — every score stays inside its documented interval,
+  including the adjusted Rand index which may be negative but never below
+  -1 (or above 1);
+* **permutation invariance** — relabelling the *true* labels (not just the
+  prediction) never changes any score;
+* **symmetry** — the pair-counting and information-theoretic metrics, and
+  mapped accuracy, are symmetric in their arguments; purity deliberately is
+  not, and its asymmetry direction is pinned down;
+* **self/degenerate comparisons** — maximal on identical partitions,
+  well-defined on single-cluster inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+    purity_score,
+    rand_index,
+)
+
+MAX_LABEL = 5
+
+label_pairs = st.integers(2, 50).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, MAX_LABEL - 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, MAX_LABEL - 1), min_size=n, max_size=n),
+    )
+)
+
+SYMMETRIC_METRICS = (
+    rand_index,
+    adjusted_rand_index,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+)
+
+UNIT_INTERVAL_METRICS = (
+    clustering_accuracy,
+    purity_score,
+    rand_index,
+    fowlkes_mallows_index,
+    normalized_mutual_information,
+)
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_range_bounds(pair):
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    for metric in UNIT_INTERVAL_METRICS:
+        value = metric(true, pred)
+        assert 0.0 <= value <= 1.0 + 1e-12, metric.__name__
+    ari = adjusted_rand_index(true, pred)
+    assert -1.0 - 1e-12 <= ari <= 1.0 + 1e-12
+
+
+@given(label_pairs, st.permutations(list(range(MAX_LABEL))))
+@settings(max_examples=60, deadline=None)
+def test_invariance_to_true_label_permutation(pair, permutation):
+    # PR 2 locked in invariance under *prediction* relabelling; the same must
+    # hold when the ground-truth ids are renamed.
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    renamed = np.array([permutation[t] for t in true])
+    for metric in UNIT_INTERVAL_METRICS + (adjusted_rand_index,):
+        assert abs(metric(true, pred) - metric(renamed, pred)) < 1e-9, (
+            metric.__name__
+        )
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_symmetry_where_applicable(pair):
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    for metric in SYMMETRIC_METRICS:
+        assert abs(metric(true, pred) - metric(pred, true)) < 1e-9, (
+            metric.__name__
+        )
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_symmetric_for_equal_cluster_counts(pair):
+    # The mapped accuracy assigns surplus clusters by majority, so it is
+    # only symmetric when both partitions use the same number of clusters
+    # (the mapping is then a one-to-one matching, whose optimum is
+    # direction-free).  E.g. accuracy([0,0], [0,1]) == 1.0 — two predicted
+    # clusters both map onto the single class — while the reverse is 0.5.
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    if len(np.unique(true)) == len(np.unique(pred)):
+        assert abs(
+            clustering_accuracy(true, pred) - clustering_accuracy(pred, true)
+        ) < 1e-9
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_purity_asymmetry_direction(pair):
+    # purity(true, pred) credits each predicted cluster with its majority
+    # class; swapping the arguments measures the reverse containment.  Each
+    # direction upper-bounds the mapped accuracy of the same direction (the
+    # directions themselves need not agree — see the accuracy symmetry test).
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    assert purity_score(true, pred) >= clustering_accuracy(true, pred) - 1e-12
+    assert purity_score(pred, true) >= clustering_accuracy(pred, true) - 1e-12
+
+
+@given(st.lists(st.integers(0, MAX_LABEL - 1), min_size=2, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_is_maximal(labels):
+    labels = np.array(labels)
+    assert clustering_accuracy(labels, labels) == 1.0
+    assert purity_score(labels, labels) == 1.0
+    assert rand_index(labels, labels) == 1.0
+    # FMI counts co-membership pairs, so an all-singletons partition has
+    # zero true-positive pairs and scores 0 even against itself.
+    if np.max(np.bincount(labels)) > 1:
+        assert fowlkes_mallows_index(labels, labels) >= 1.0 - 1e-9
+    assert normalized_mutual_information(labels, labels) >= 1.0 - 1e-9
+    if len(set(labels.tolist())) > 1:
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+
+@given(st.lists(st.integers(0, MAX_LABEL - 1), min_size=2, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_label_offset_invariance(labels):
+    # Cluster ids are nominal: shifting every id by a constant is a
+    # relabelling and must not change any score.
+    true = np.array(labels)
+    pred = np.roll(true, 1)
+    for metric in UNIT_INTERVAL_METRICS + (adjusted_rand_index,):
+        assert abs(metric(true, pred) - metric(true + 7, pred)) < 1e-9, (
+            metric.__name__
+        )
+        assert abs(metric(true, pred) - metric(true, pred + 3)) < 1e-9, (
+            metric.__name__
+        )
+
+
+@given(label_pairs)
+@settings(max_examples=60, deadline=None)
+def test_duplicating_every_sample_preserves_pair_metrics(pair):
+    # Pair-counting metrics are defined on the co-membership relation, and
+    # accuracy/purity on per-sample fractions; all are invariant under
+    # replicating the whole sample set (pairs scale consistently).
+    true, pred = np.array(pair[0]), np.array(pair[1])
+    doubled_true = np.concatenate([true, true])
+    doubled_pred = np.concatenate([pred, pred])
+    for metric in (clustering_accuracy, purity_score):
+        assert abs(
+            metric(true, pred) - metric(doubled_true, doubled_pred)
+        ) < 1e-9, metric.__name__
+
+
+@given(st.integers(2, 40))
+@settings(max_examples=30, deadline=None)
+def test_singleton_prediction_extremes(n):
+    # All-singletons prediction: purity is 1 (every cluster trivially pure),
+    # while FMI is defined and stays in range.
+    rng = np.random.default_rng(n)
+    true = rng.integers(0, 3, size=n)
+    singletons = np.arange(n)
+    assert purity_score(true, singletons) == 1.0
+    assert 0.0 <= fowlkes_mallows_index(true, singletons) <= 1.0

@@ -1,0 +1,119 @@
+"""Thread-safety stress tests for the LRU feature cache.
+
+The counters and eviction used to run unsynchronised; these tests assert the
+single-mutex invariants documented in :mod:`repro.serving.cache`:
+
+* counter conservation — ``hits + misses == lookups`` exactly, even with
+  many threads hammering overlapping keys;
+* no lost entries — concurrent puts of distinct keys within capacity all
+  land and survive;
+* the capacity bound holds at every quiescent point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import LRUFeatureCache
+
+
+def _hammer(n_threads: int, worker) -> None:
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def run(index: int) -> None:
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+
+
+def test_lookup_counter_single_thread():
+    cache = LRUFeatureCache(max_entries=2)
+    cache.put("a", np.zeros(1))
+    cache.get("a")
+    cache.get("missing")
+    counters = cache.counters()
+    assert counters == {"hits": 1, "misses": 1, "lookups": 2, "entries": 1}
+
+
+@pytest.mark.slow
+def test_counter_conservation_under_contention():
+    cache = LRUFeatureCache(max_entries=8)
+    n_threads, per_thread = 8, 2000
+    keys = [f"k{i}" for i in range(16)]  # twice the capacity: constant churn
+
+    def worker(index: int) -> None:
+        rng = np.random.default_rng(index)
+        for _ in range(per_thread):
+            key = keys[int(rng.integers(0, len(keys)))]
+            if cache.get(key) is None:
+                cache.put(key, np.full(4, float(index)))
+
+    _hammer(n_threads, worker)
+    counters = cache.counters()
+    assert counters["lookups"] == n_threads * per_thread
+    assert counters["hits"] + counters["misses"] == counters["lookups"]
+    assert counters["entries"] <= cache.max_entries
+    assert len(cache) <= cache.max_entries
+
+
+@pytest.mark.slow
+def test_no_lost_entries_with_distinct_concurrent_puts():
+    n_threads, per_thread = 8, 64
+    cache = LRUFeatureCache(max_entries=n_threads * per_thread)
+
+    def worker(index: int) -> None:
+        for item in range(per_thread):
+            cache.put((index, item), np.array([index, item], dtype=float))
+
+    _hammer(n_threads, worker)
+    assert len(cache) == n_threads * per_thread
+    for index in range(n_threads):
+        for item in range(per_thread):
+            value = cache.get((index, item))
+            assert value is not None
+            assert value.tolist() == [float(index), float(item)]
+
+
+@pytest.mark.slow
+def test_eviction_never_exceeds_capacity_under_put_storm():
+    cache = LRUFeatureCache(max_entries=4)
+    observed_over_capacity = []
+
+    def worker(index: int) -> None:
+        for item in range(1500):
+            cache.put((index, item % 32), np.zeros(2))
+            if len(cache) > cache.max_entries:
+                observed_over_capacity.append(len(cache))
+
+    _hammer(8, worker)
+    assert not observed_over_capacity
+    assert len(cache) <= cache.max_entries
+
+
+def test_predicate_eviction_is_atomic_with_puts():
+    cache = LRUFeatureCache(max_entries=64)
+
+    def writer(index: int) -> None:
+        if index % 2 == 0:
+            for item in range(300):
+                cache.put(("evictme", index, item % 8), np.zeros(1))
+        else:
+            for _ in range(300):
+                cache.evict(lambda key: key[0] == "evictme")
+
+    _hammer(4, writer)
+    cache.evict(lambda key: key[0] == "evictme")
+    assert all(key[0] != "evictme" for key in list(cache._entries))

@@ -1,0 +1,453 @@
+"""Tests for the batch-fusion serving layer.
+
+Two layers of coverage, mirroring the design of
+:class:`repro.serving.BatchFuser`:
+
+* **deterministic scheduler tests** — the submit/flush API is driven
+  synchronously with an injected fake clock (no sleeps, no threads), so
+  every coalescing rule (row bound, explicit flush, per-model lanes,
+  immediate mode, error isolation, queue-wait accounting) is checked
+  exactly;
+* **threaded integration tests** — many client threads encode concurrently
+  and every client must get exactly its own rows back, byte-identical to a
+  direct ``EncodingService.encode`` of the same input, in float64 and
+  float32.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import SelfLearningEncodingFramework
+from repro.datasets.synthetic import make_overlapping_binary_clusters
+from repro.exceptions import ServingError, ValidationError
+from repro.serving import BatchFuser, EncodingService
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data, _ = make_overlapping_binary_clusters(
+        60, 8, 3, flip_probability=0.1, random_state=0
+    )
+    config = FrameworkConfig(
+        model="sls_rbm",
+        preprocessing="median_binarize",
+        supervision_preprocessing="standardize",
+        n_hidden=5,
+        n_epochs=2,
+        random_state=0,
+    )
+    framework = SelfLearningEncodingFramework(config, n_clusters=3)
+    framework.fit(data)
+    return framework, data
+
+
+class FakeClock:
+    """Deterministic clock: every reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 0.5) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def make_service(framework, **kwargs) -> EncodingService:
+    service = EncodingService(**kwargs)
+    service.register("ir", framework)
+    return service
+
+
+# --------------------------------------------------------------- encode_many
+class TestEncodeMany:
+    def test_fused_bit_identical_to_unfused(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0)
+        parts = [data[:17], data[17:40], data[40:]]
+        fused = service.encode_many("ir", parts)
+        for part, result in zip(parts, fused):
+            direct = service.encode("ir", part, use_cache=False)
+            assert result.dtype == direct.dtype
+            assert np.array_equal(result, direct)
+
+    def test_fused_crossing_micro_batch_boundaries(self, fitted):
+        # The stacked matrix spans several micro-batches whose boundaries
+        # fall inside individual requests; results must not change.
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, max_batch_size=7)
+        parts = [data[:20], data[20:25], data[25:]]
+        fused = service.encode_many("ir", parts)
+        for part, result in zip(parts, fused):
+            assert np.array_equal(result, framework.transform(part))
+
+    def test_single_row_requests_are_allclose_not_necessarily_bitwise(self, fitted):
+        # BLAS dispatches GEMV for 1-row matmuls, so a single-row request
+        # fused into a GEMM may differ from its unfused result in the last
+        # bits.  It must still be allclose at float64 epsilon scale; the
+        # bitwise guarantee holds from 2 rows up (previous test).
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0)
+        model = framework.model_
+        bare = EncodingService(cache_entries=0)
+        bare.register("raw", model)
+        preprocessed = framework.preprocess(data)
+        singles = [preprocessed[i : i + 1] for i in range(6)]
+        fused = bare.encode_many("raw", singles)
+        for single, result in zip(singles, fused):
+            direct = bare.encode("raw", single, use_cache=False)
+            np.testing.assert_allclose(result, direct, rtol=1e-12, atol=1e-15)
+
+    def test_cache_hits_are_excluded_from_the_fused_pass(self, fitted):
+        framework, data = fitted
+        service = make_service(framework)
+        warm = service.encode("ir", data[:10])
+        results = service.encode_many("ir", [data[:10], data[10:30]])
+        assert np.array_equal(results[0], warm)
+        assert np.array_equal(results[1], framework.transform(data[10:30]))
+        stats = service.stats("ir")
+        assert stats["n_cache_hits"] == 1
+        assert stats["n_fused_requests"] == 1
+
+    def test_flush_counters(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0)
+        service.encode_many("ir", [data[:10], data[10:20], data[20:30]])
+        service.encode_many("ir", [data[:5]])
+        stats = service.stats("ir")
+        assert stats["n_flushes"] == 2
+        assert stats["n_fused_requests"] == 4
+        assert stats["fusion_ratio"] == 2.0
+
+    def test_queue_seconds_length_mismatch(self, fitted):
+        framework, data = fitted
+        service = make_service(framework)
+        with pytest.raises(ValidationError):
+            service.encode_many("ir", [data[:5]], queue_seconds=[0.1, 0.2])
+
+    def test_non_finite_request_rejected(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0)
+        bad = data[:5].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            service.encode_many("ir", [data[:5], bad])
+
+    def test_generic_estimator_falls_back_to_per_request(self, fitted):
+        from repro.core.pipeline import Pipeline
+        from repro.core.transformers import Standardize
+
+        _, data = fitted
+        pipeline = Pipeline([("scale", Standardize())])
+        pipeline.fit(data)
+        service = EncodingService(cache_entries=0)
+        service.register("scaled", pipeline)
+        results = service.encode_many("scaled", [data[:10], data[10:30]])
+        assert np.array_equal(results[0], pipeline.transform(data[:10]))
+        assert np.array_equal(results[1], pipeline.transform(data[10:30]))
+        # no fused flush happened — the pipeline cannot be stacked safely
+        assert service.stats("scaled")["n_flushes"] == 0
+
+
+# ------------------------------------------------- deterministic scheduling
+class TestSchedulerDeterministic:
+    def test_submit_parks_until_flush(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        first = fuser.submit("ir", data[:10])
+        second = fuser.submit("ir", data[10:25])
+        assert not first.done and not second.done
+        assert fuser.pending("ir") == (2, 25)
+        assert fuser.flush("ir") == 2
+        assert fuser.pending("ir") == (0, 0)
+        assert np.array_equal(first.result(), framework.transform(data[:10]))
+        assert np.array_equal(second.result(), framework.transform(data[10:25]))
+
+    def test_row_bound_triggers_inline_flush(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=30, max_wait_ms=50)
+        first = fuser.submit("ir", data[:20])
+        assert not first.done  # 20 < 30 rows: still parked
+        second = fuser.submit("ir", data[20:40])
+        assert first.done and second.done  # 40 >= 30: submitter flushed
+        assert np.array_equal(second.result(), framework.transform(data[20:40]))
+
+    def test_oversized_request_flushes_alone(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=10, max_wait_ms=50)
+        ticket = fuser.submit("ir", data)  # 60 rows > bound
+        assert ticket.done
+        assert np.array_equal(ticket.result(), framework.transform(data))
+
+    def test_immediate_mode(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=0)
+        ticket = fuser.submit("ir", data[:10])
+        assert ticket.done  # max_wait_ms=0: every submission flushes
+
+    def test_per_model_lanes_are_independent(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        service.register("ir2", framework)
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        one = fuser.submit("ir", data[:10])
+        two = fuser.submit("ir2", data[:10])
+        assert fuser.pending("ir") == (1, 10)
+        assert fuser.pending("ir2") == (1, 10)
+        fuser.flush("ir")
+        assert one.done and not two.done
+        assert fuser.flush() == 1  # flush-all resolves the remaining lane
+        assert two.done
+
+    def test_queue_wait_recorded_from_injected_clock(self, fitted):
+        framework, data = fitted
+        clock = FakeClock(step=0.5)
+        service = make_service(framework, cache_entries=0, clock=clock)
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        fuser.submit("ir", data[:10])
+        fuser.submit("ir", data[10:20])
+        fuser.flush("ir")
+        stats = service.stats("ir")
+        # submits at t=0.5 and t=1.0, flush timestamp t=1.5: waits 1.0 + 0.5
+        assert stats["total_queue_seconds"] == pytest.approx(1.5)
+        assert stats["n_flushes"] == 1
+        assert stats["fusion_ratio"] == 2.0
+        assert stats["total_compute_seconds"] > 0.0
+
+    def test_unknown_model_raises_at_submit(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=100, max_wait_ms=50)
+        with pytest.raises(ServingError):
+            fuser.submit("missing", data[:5])
+
+    def test_malformed_request_raises_at_submit(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=100, max_wait_ms=50)
+        with pytest.raises(ValidationError):
+            fuser.submit("ir", data[0])  # 1-D
+        with pytest.raises(ValidationError):
+            fuser.submit("ir", np.empty((0, 8)))
+
+    def test_bad_request_is_isolated_from_its_batch_mates(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        good = fuser.submit("ir", data[:10])
+        bad_data = data[10:15].copy()
+        bad_data[0, 0] = np.inf  # passes the light submit checks
+        bad = fuser.submit("ir", bad_data)
+        fuser.flush("ir")
+        assert np.array_equal(good.result(), framework.transform(data[:10]))
+        with pytest.raises(ValidationError):
+            bad.result()
+
+    def test_non_finite_rejected_for_generic_models_too(self, fitted):
+        # Non-fast-path models bypass the stacked finiteness check, so the
+        # fallback path must validate fully — a NaN through the fuser has to
+        # raise exactly as service.encode would, not return NaN features.
+        from repro.core.pipeline import Pipeline
+        from repro.core.transformers import Standardize
+
+        _, data = fitted
+        pipeline = Pipeline([("scale", Standardize())])
+        pipeline.fit(data)
+        service = EncodingService(cache_entries=0, clock=FakeClock())
+        service.register("scaled", pipeline)
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        bad = data[:5].copy()
+        bad[0, 0] = np.nan
+        good = fuser.submit("scaled", data[:10])
+        ticket = fuser.submit("scaled", bad)
+        fuser.flush("scaled")
+        assert np.array_equal(good.result(), pipeline.transform(data[:10]))
+        with pytest.raises(ValidationError):
+            ticket.result()
+
+    def test_wrong_width_fails_at_submit_for_bare_models(self, fitted):
+        # Without preprocessing the feature width is checkable immediately,
+        # so a malformed client fails fast and never joins (and demotes) a
+        # batch.
+        framework, data = fitted
+        model = framework.model_
+        service = EncodingService(cache_entries=0, clock=FakeClock())
+        service.register("raw", model)
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        with pytest.raises(ValidationError):
+            fuser.submit("raw", np.zeros((4, 3)))
+        assert fuser.pending("raw") == (0, 0)
+
+    def test_wrong_width_is_isolated_from_its_batch_mates(self, fitted):
+        # Framework preprocessing may change the width, so the check is
+        # deferred to the flush; the per-request fallback must then isolate
+        # the offender from its batch-mates.
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        good = fuser.submit("ir", data[:10])
+        bad = fuser.submit("ir", np.zeros((4, 3)))  # wrong feature width
+        fuser.flush("ir")
+        assert np.array_equal(good.result(), framework.transform(data[:10]))
+        with pytest.raises(ValidationError):
+            bad.result()
+
+    def test_unresolved_ticket_result_raises(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        ticket = fuser.submit("ir", data[:5])
+        with pytest.raises(RuntimeError):
+            ticket.result()
+        fuser.flush("ir")
+        ticket.result()
+
+    def test_invalid_parameters(self, fitted):
+        framework, _ = fitted
+        service = make_service(framework)
+        with pytest.raises(ValidationError):
+            BatchFuser(service, max_batch_rows=0)
+        with pytest.raises(ValidationError):
+            BatchFuser(service, max_wait_ms=-1)
+        with pytest.raises(ValidationError):
+            BatchFuser(object())
+
+    def test_context_manager_flushes_on_exit(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, cache_entries=0, clock=FakeClock())
+        with BatchFuser(service, max_batch_rows=1000, max_wait_ms=50) as fuser:
+            ticket = fuser.submit("ir", data[:10])
+        assert ticket.done
+
+    def test_fused_results_use_the_service_cache(self, fitted):
+        framework, data = fitted
+        service = make_service(framework, clock=FakeClock())
+        fuser = BatchFuser(service, max_batch_rows=1000, max_wait_ms=50)
+        fuser.submit("ir", data[:10])
+        fuser.flush("ir")
+        before = service.stats("ir")["n_cache_hits"]
+        ticket = fuser.submit("ir", data[:10])
+        fuser.flush("ir")
+        assert service.stats("ir")["n_cache_hits"] == before + 1
+        assert np.array_equal(ticket.result(), framework.transform(data[:10]))
+
+
+# ------------------------------------------------------ threaded integration
+def _run_clients(n_clients, worker):
+    barrier = threading.Barrier(n_clients)
+    errors: list[BaseException] = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=body, args=(i,)) for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+
+
+class TestThreadedIntegration:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("dtype", [None, "float32"])
+    def test_every_client_gets_its_own_rows_byte_identical(self, fitted, dtype):
+        # 8 clients, several rounds each; every client embeds its identity in
+        # its data, and every fused result must be byte-identical to a direct
+        # EncodingService.encode of the same input.
+        framework, _ = fitted
+        n_clients, n_rounds, rows = 8, 12, 5
+        rng = np.random.default_rng(42)
+        payloads = [
+            [
+                (rng.random((rows, 8)) + index).astype(float)
+                for _ in range(n_rounds)
+            ]
+            for index in range(n_clients)
+        ]
+        service = EncodingService(cache_entries=0, dtype=dtype)
+        service.register("ir", framework)
+        reference = EncodingService(cache_entries=0, dtype=dtype)
+        reference.register("ir", framework)
+        fuser = BatchFuser(
+            service, max_batch_rows=n_clients * rows, max_wait_ms=30
+        )
+        results: list[list[np.ndarray]] = [[] for _ in range(n_clients)]
+
+        def worker(index):
+            for matrix in payloads[index]:
+                results[index].append(fuser.encode("ir", matrix))
+
+        _run_clients(n_clients, worker)
+
+        for index in range(n_clients):
+            for matrix, fused in zip(payloads[index], results[index]):
+                direct = reference.encode("ir", matrix, use_cache=False)
+                assert fused.dtype == direct.dtype
+                assert fused.shape == direct.shape
+                assert fused.tobytes() == direct.tobytes()
+
+    @pytest.mark.slow
+    def test_concurrent_stress_fuses_and_conserves_counters(self, fitted):
+        framework, _ = fitted
+        n_clients, n_rounds, rows = 8, 20, 4
+        rng = np.random.default_rng(3)
+        payloads = [
+            [rng.random((rows, 8)) for _ in range(n_rounds)]
+            for _ in range(n_clients)
+        ]
+        service = EncodingService(cache_entries=0)
+        service.register("ir", framework)
+        fuser = BatchFuser(
+            service, max_batch_rows=n_clients * rows, max_wait_ms=200
+        )
+        rounds_barrier = threading.Barrier(n_clients)
+
+        def worker(index):
+            for matrix in payloads[index]:
+                rounds_barrier.wait()
+                fuser.encode("ir", matrix)
+
+        _run_clients(n_clients, worker)
+        stats = service.stats("ir")
+        total = n_clients * n_rounds
+        assert stats["n_requests"] == total
+        assert stats["n_fused_requests"] == total
+        assert stats["n_samples"] == total * rows
+        # barrier-aligned rounds must actually coalesce
+        assert stats["n_flushes"] < total
+        assert stats["fusion_ratio"] > 1.5
+        assert stats["total_queue_seconds"] >= 0.0
+
+    @pytest.mark.slow
+    def test_mixed_fused_and_direct_traffic(self, fitted):
+        # Fused and plain encode calls interleave on the same service; the
+        # runtime lock must keep the shared scratch buffer consistent.
+        framework, data = fitted
+        expected = framework.transform(data[:10])
+        service = EncodingService(cache_entries=0)
+        service.register("ir", framework)
+        fuser = BatchFuser(service, max_batch_rows=40, max_wait_ms=5)
+
+        def worker(index):
+            for _ in range(15):
+                if index % 2 == 0:
+                    out = fuser.encode("ir", data[:10])
+                else:
+                    out = service.encode("ir", data[:10], use_cache=False)
+                assert np.array_equal(out, expected)
+
+        _run_clients(6, worker)

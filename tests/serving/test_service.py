@@ -130,7 +130,7 @@ class TestCache:
         service.encode("ir", data)
         assert service.stats("ir")["n_cache_hits"] == 0
         assert service.cache_info == {
-            "entries": 0, "max_entries": 0, "hits": 0, "misses": 0,
+            "entries": 0, "max_entries": 0, "hits": 0, "misses": 0, "lookups": 0,
         }
 
     def test_reregistering_invalidates_cache(self, fitted):
@@ -139,6 +139,24 @@ class TestCache:
         service.register("ir", framework)
         service.encode("ir", data)
         service.register("ir", framework)
+        service.encode("ir", data)
+        assert service.stats("ir")["n_cache_hits"] == 0
+
+    def test_cache_keys_carry_the_registration_generation(self, fitted):
+        # A put that lands after a re-registration (slow encode racing
+        # register) must not be servable as a hit of the new model: the
+        # generation tag in the key, not just eviction timing, guarantees it.
+        framework, data = fitted
+        service = EncodingService()
+        service.register("ir", framework)
+        first_tag = service._models["ir"].cache_tag
+        service.encode("ir", data)
+        service.register("ir", framework)
+        assert service._models["ir"].cache_tag != first_tag
+        # simulate the race: re-insert an old-generation entry post-evict
+        from repro.serving.cache import input_digest
+
+        service._cache.put(("ir", first_tag, input_digest(data)), data)
         service.encode("ir", data)
         assert service.stats("ir")["n_cache_hits"] == 0
 
@@ -176,18 +194,39 @@ class TestLRUFeatureCache:
 
 class TestStats:
     def test_latency_accounting_with_injected_clock(self, fitted):
+        # A cache miss reads the clock four times: request start, compute
+        # start, compute end, request end.  With ticks every 0.5 s the
+        # request spans 1.5 s of which exactly 0.5 s is compute.
         framework, data = fitted
         ticks = iter(np.arange(0.0, 100.0, 0.5))
         service = EncodingService(clock=lambda: float(next(ticks)))
         service.register("ir", framework)
         service.encode("ir", data)
         stats = service.stats("ir")
-        assert stats["last_latency_seconds"] == 0.5
-        assert stats["total_seconds"] == 0.5
-        assert stats["mean_latency_seconds"] == 0.5
-        assert stats["throughput_samples_per_second"] == data.shape[0] / 0.5
+        assert stats["last_latency_seconds"] == 1.5
+        assert stats["total_seconds"] == 1.5
+        assert stats["mean_latency_seconds"] == 1.5
+        assert stats["total_compute_seconds"] == 0.5
+        assert stats["total_queue_seconds"] == 0.0
+        assert stats["throughput_samples_per_second"] == data.shape[0] / 1.5
         assert stats["n_samples"] == data.shape[0]
         assert stats["n_encoded_samples"] == data.shape[0]
+
+    def test_cache_hit_records_no_compute_time(self, fitted):
+        # A hit reads the clock twice (start, end): 0.5 s latency, and the
+        # compute/queue counters must not move.
+        framework, data = fitted
+        ticks = iter(np.arange(0.0, 100.0, 0.5))
+        service = EncodingService(clock=lambda: float(next(ticks)))
+        service.register("ir", framework)
+        service.encode("ir", data)  # miss: 4 ticks
+        service.encode("ir", data)  # hit: 2 ticks
+        stats = service.stats("ir")
+        assert stats["n_cache_hits"] == 1
+        assert stats["last_latency_seconds"] == 0.5
+        assert stats["total_seconds"] == 2.0
+        assert stats["total_compute_seconds"] == 0.5
+        assert stats["total_queue_seconds"] == 0.0
 
     def test_all_models_view(self, fitted):
         framework, data = fitted

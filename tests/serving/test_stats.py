@@ -1,0 +1,154 @@
+"""Unit tests for :class:`repro.serving.ModelStats`.
+
+Backfills direct coverage of the pre-existing latency counters and locks in
+the new queue/compute split and fusion accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serving import ModelStats
+
+
+class TestRecord:
+    def test_miss_accounting(self):
+        stats = ModelStats()
+        stats.record(
+            n_samples=10,
+            seconds=0.25,
+            cache_hit=False,
+            n_batches=2,
+            queue_seconds=0.05,
+            compute_seconds=0.15,
+        )
+        assert stats.n_requests == 1
+        assert stats.n_cache_hits == 0
+        assert stats.n_samples == 10
+        assert stats.n_encoded_samples == 10
+        assert stats.n_batches == 2
+        assert stats.total_seconds == 0.25
+        assert stats.total_queue_seconds == 0.05
+        assert stats.total_compute_seconds == 0.15
+        assert stats.last_latency_seconds == 0.25
+
+    def test_hit_does_not_count_encoded_samples(self):
+        stats = ModelStats()
+        stats.record(n_samples=10, seconds=0.1, cache_hit=True)
+        assert stats.n_requests == 1
+        assert stats.n_cache_hits == 1
+        assert stats.n_samples == 10
+        assert stats.n_encoded_samples == 0
+        assert stats.n_batches == 0
+        assert stats.cache_hit_rate == 1.0
+
+    def test_derived_metrics(self):
+        stats = ModelStats()
+        stats.record(n_samples=30, seconds=0.5, cache_hit=False, n_batches=1)
+        stats.record(n_samples=30, seconds=0.25, cache_hit=True)
+        assert stats.mean_latency_seconds == 0.375
+        assert stats.throughput_samples_per_second == 60 / 0.75
+        assert stats.cache_hit_rate == 0.5
+        assert stats.mean_queue_seconds == 0.0
+
+    def test_idle_metrics_are_zero(self):
+        stats = ModelStats()
+        assert stats.cache_hit_rate == 0.0
+        assert stats.mean_latency_seconds == 0.0
+        assert stats.mean_queue_seconds == 0.0
+        assert stats.throughput_samples_per_second == 0.0
+        assert stats.fusion_ratio == 0.0
+
+
+class TestFlushAccounting:
+    def test_flush_equivalent_to_individual_records(self):
+        fused = ModelStats()
+        fused.record_flush(
+            3,
+            n_hits=1,
+            n_samples=40,
+            n_hit_samples=10,
+            n_batches=2,
+            total_seconds=0.9,
+            queue_seconds=0.3,
+            compute_seconds=0.2,
+            last_latency_seconds=0.35,
+        )
+        assert fused.n_requests == 4
+        assert fused.n_cache_hits == 1
+        assert fused.n_fused_requests == 3
+        assert fused.n_flushes == 1
+        assert fused.n_samples == 40
+        assert fused.n_encoded_samples == 30
+        assert fused.n_batches == 2
+        assert fused.total_seconds == 0.9
+        assert fused.total_queue_seconds == 0.3
+        assert fused.total_compute_seconds == 0.2
+        assert fused.last_latency_seconds == 0.35
+
+    def test_fusion_ratio(self):
+        stats = ModelStats()
+        stats.record_flush(4, n_samples=8, last_latency_seconds=0.1)
+        stats.record_flush(2, n_samples=4, last_latency_seconds=0.1)
+        assert stats.n_flushes == 2
+        assert stats.n_fused_requests == 6
+        assert stats.fusion_ratio == 3.0
+
+    def test_as_dict_exposes_every_counter(self):
+        stats = ModelStats()
+        stats.record(n_samples=5, seconds=0.1, cache_hit=False, n_batches=1)
+        snapshot = stats.as_dict()
+        for key in (
+            "n_requests",
+            "n_cache_hits",
+            "n_samples",
+            "n_encoded_samples",
+            "n_batches",
+            "n_flushes",
+            "n_fused_requests",
+            "total_seconds",
+            "total_queue_seconds",
+            "total_compute_seconds",
+            "last_latency_seconds",
+            "cache_hit_rate",
+            "mean_latency_seconds",
+            "mean_queue_seconds",
+            "throughput_samples_per_second",
+            "fusion_ratio",
+        ):
+            assert key in snapshot, key
+
+
+class TestThreadSafety:
+    def test_concurrent_records_conserve_counts(self):
+        stats = ModelStats()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(per_thread):
+                stats.record(
+                    n_samples=int(rng.integers(1, 5)),
+                    seconds=0.001,
+                    cache_hit=bool(rng.integers(0, 2)),
+                    n_batches=1,
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = stats.as_dict()
+        assert snapshot["n_requests"] == n_threads * per_thread
+        assert abs(snapshot["total_seconds"] - n_threads * per_thread * 0.001) < 1e-6
+        assert (
+            snapshot["n_samples"]
+            >= snapshot["n_encoded_samples"] + snapshot["n_cache_hits"] * 1
+        )

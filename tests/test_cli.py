@@ -203,6 +203,82 @@ class TestBench:
         assert "benchmark report written" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_announces_and_runs(self, artifact, capsys, monkeypatch):
+        # serve_forever is stubbed out so the command builds the full stack,
+        # prints the banner and exits without blocking the test run.
+        from repro.serving.http import EncodingHTTPServer
+
+        monkeypatch.setattr(EncodingHTTPServer, "serve_forever", lambda self: None)
+        code = main([
+            "serve", "--artifact", f"ir={artifact}", "--port", "0",
+            "--max-batch-rows", "128", "--max-wait-ms", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 1 model(s) ['ir']" in out
+        assert "max_batch_rows=128" in out
+        assert "POST /encode" in out
+
+    def test_serve_without_fusion(self, artifact, capsys, monkeypatch):
+        from repro.serving.http import EncodingHTTPServer
+
+        monkeypatch.setattr(EncodingHTTPServer, "serve_forever", lambda self: None)
+        code = main([
+            "serve", "--artifact", f"ir={artifact}", "--port", "0", "--no-fusion",
+        ])
+        assert code == 0
+        assert "fusion: disabled" in capsys.readouterr().out
+
+    def test_serve_end_to_end_over_http(self, artifact):
+        import json as json_module
+        import threading
+        import urllib.request
+
+        from repro.cli import _build_serving_stack, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--artifact", f"ir={artifact}", "--port", "0"]
+        )
+        service, fuser, server = _build_serving_stack(args)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            health = json_module.load(
+                urllib.request.urlopen(base + "/healthz", timeout=10)
+            )
+            assert health == {"status": "ok", "models": ["ir"]}
+            dataset = load_uci_dataset("IR", scale=0.5, random_state=0)
+            body = json_module.dumps(
+                {"model": "ir", "data": dataset.data[:4].tolist()}
+            ).encode()
+            response = json_module.load(
+                urllib.request.urlopen(
+                    urllib.request.Request(base + "/encode", data=body), timeout=10
+                )
+            )
+            expected = service.encode("ir", dataset.data[:4], use_cache=False)
+            np.testing.assert_array_equal(
+                np.asarray(response["features"]), expected
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_malformed_artifact_mapping_fails_cleanly(self, capsys):
+        assert main(["serve", "--artifact", "no-equals-sign"]) == 1
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_duplicate_model_name_fails_cleanly(self, artifact, capsys):
+        code = main([
+            "serve", "--artifact", f"ir={artifact}", "--artifact", f"ir={artifact}",
+        ])
+        assert code == 1
+        assert "twice" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_summary(self, artifact, capsys):
         assert main(["info", "--artifact", str(artifact)]) == 0
