@@ -9,5 +9,12 @@ metadata lives in ``pyproject.toml``.
 from setuptools import setup
 
 setup(
-    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            # Dedicated worker entry so remote hosts can join a distributed
+            # grid without shelling through the full CLI dispatcher.
+            "repro-worker=repro.distributed.worker:main",
+        ]
+    },
 )

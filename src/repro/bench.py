@@ -281,6 +281,58 @@ def bench_runner_scaling(*, smoke: bool = False, n_jobs: int = 4) -> dict:
     }
 
 
+def bench_distributed_scaling(*, smoke: bool = False) -> dict:
+    """The runner-scaling grid fanned out over loopback worker processes.
+
+    One wall-clock sample per worker count in {1, 2, 4}: each run spawns
+    its own coordinator and worker subprocesses, so the numbers include the
+    full distribution overhead (process start-up, dataset transfer, JSON
+    round-trips) — the honest cost a user pays for ``workers=N`` on one
+    machine.
+    """
+    from repro.datasets import load_uci_suite
+    from repro.datasets.base import DatasetSuite
+    from repro.experiments.runner import ExperimentRunner
+
+    scale = 0.15 if smoke else 0.3
+    n_epochs = 2 if smoke else 3
+    suite = load_uci_suite(scale=scale, random_state=0)
+    suite = DatasetSuite("bench", list(suite)[:2])
+    algorithms = ("DP", "K-means", "K-means+RBM", "K-means+slsRBM")
+
+    def run(workers: int | None) -> float:
+        runner = ExperimentRunner(
+            algorithms,
+            n_repeats=2,
+            n_hidden=8,
+            n_epochs=n_epochs,
+            batch_size=32,
+            random_state=0,
+            workers=workers,
+        )
+        start = time.perf_counter()
+        runner.run_suite(suite)
+        return time.perf_counter() - start
+
+    sequential = run(None)
+    worker_counts = (1, 2, 4)
+    seconds = {n: run(n) for n in worker_counts}
+    return {
+        "n_datasets": 2,
+        "n_algorithms": len(algorithms),
+        "n_repeats": 2,
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": sequential,
+        "workers": {
+            str(n): {
+                "seconds": seconds[n],
+                "over_sequential": seconds[n] / sequential,
+            }
+            for n in worker_counts
+        },
+    }
+
+
 # ---------------------------------------------------------------------- entry
 def run_training_benchmarks(*, smoke: bool = False, n_jobs: int = 4) -> dict:
     """Run every section and return the report payload."""
@@ -289,6 +341,7 @@ def run_training_benchmarks(*, smoke: bool = False, n_jobs: int = 4) -> dict:
         "sls_epoch": bench_sls_epoch(smoke=smoke),
         "density_peaks": bench_density_peaks(smoke=smoke),
         "runner_scaling": bench_runner_scaling(smoke=smoke, n_jobs=n_jobs),
+        "distributed_scaling": bench_distributed_scaling(smoke=smoke),
     }
     return {
         "benchmark": "training",
@@ -336,4 +389,17 @@ def format_summary(payload: dict) -> str:
         f"{scaling['parallel_seconds']:.2f} s vs {scaling['sequential_seconds']:.2f} s "
         f"sequential ({scaling['parallel_over_sequential']:.2f}x wall-clock)"
     )
+    distributed = results.get("distributed_scaling")
+    if distributed:
+        per_count = ", ".join(
+            f"{n} worker(s): {entry['seconds']:.2f} s "
+            f"({entry['over_sequential']:.2f}x)"
+            for n, entry in sorted(
+                distributed["workers"].items(), key=lambda item: int(item[0])
+            )
+        )
+        lines.append(
+            f"  distributed      loopback {per_count} vs "
+            f"{distributed['sequential_seconds']:.2f} s sequential"
+        )
     return "\n".join(lines)

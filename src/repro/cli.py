@@ -11,7 +11,10 @@ Four subcommands cover the train/serve lifecycle introduced by
 * ``evaluate`` — load an artifact, encode a labelled dataset, cluster the
   features and print every external metric; or, with ``--grid``, run a full
   dataset x algorithm experiment grid through :class:`ExperimentRunner`
-  (optionally fanned out over ``--n-jobs`` worker processes);
+  (optionally fanned out over ``--n-jobs`` worker processes, or distributed
+  over ``--workers`` — loopback subprocesses or remote standby workers);
+* ``worker``   — execute grid cells for a distributed coordinator
+  (``--connect HOST:PORT``), or stand by for one (``--listen PORT``);
 * ``serve``    — load one or more artifact bundles into an
   :class:`~repro.serving.EncodingService` and serve them over JSON/HTTP
   (``/encode``, ``/models``, ``/stats``, ``/healthz``) with concurrent
@@ -32,6 +35,9 @@ Examples
     python -m repro evaluate --artifact artifacts/ir --suite uci --dataset IR
     python -m repro evaluate --grid --suite uci --dataset IR,BCW \
         --algorithms "DP,K-means,K-means+slsRBM" --repeats 3 --n-jobs 4
+    python -m repro evaluate --grid --suite uci --dataset IR \
+        --algorithms "DP,K-means" --workers 2
+    python -m repro worker --connect 127.0.0.1:9000
     python -m repro serve --artifact ir=artifacts/ir --port 8000
     python -m repro info --artifact artifacts/ir
     python -m repro bench --smoke --out BENCH_training.json
@@ -284,15 +290,52 @@ def _cmd_evaluate_grid(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         random_state=args.seed,
         n_jobs=args.n_jobs,
+        workers=_parse_workers(args.workers),
+        lease_timeout=args.lease_timeout,
     )
     table = runner.run_suite(suite)
     print(format_table(table, args.metric, title=f"{suite.name}: {args.metric}"))
+    distribution = (
+        f"workers={args.workers}, re-queued cells: {runner.n_requeued_cells}, "
+        f"duplicate results: {runner.n_duplicate_results}"
+        if runner.workers is not None
+        else f"n_jobs={args.n_jobs}"
+    )
     print(
         f"cells: {len(datasets)} datasets x {len(algorithms)} algorithms x "
-        f"{args.repeats} repeats, n_jobs={args.n_jobs}, "
+        f"{args.repeats} repeats, {distribution}, "
         f"supervision cache hits: {runner.n_supervision_hits}"
     )
     return 0
+
+
+def _parse_workers(value: str | None):
+    """``--workers`` flag: a count ("4") or comma-separated host:port list."""
+    if value is None:
+        return None
+    value = value.strip()
+    if value.isdigit():
+        return int(value)
+    addresses = [item.strip() for item in value.split(",") if item.strip()]
+    if not addresses:
+        raise ValidationError("--workers must be a count or host:port list")
+    return addresses
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.worker import main as worker_main
+
+    argv = []
+    if args.connect is not None:
+        argv += ["--connect", args.connect]
+    if args.listen is not None:
+        argv += ["--listen", str(args.listen)]
+    argv += ["--host", args.host, "--poll-interval", str(args.poll_interval)]
+    if args.worker_id is not None:
+        argv += ["--worker-id", args.worker_id]
+    if args.verbose:
+        argv.append("--verbose")
+    return worker_main(argv)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -365,6 +408,8 @@ def _build_serving_stack(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     service, fuser, server = _build_serving_stack(args)
     host, port = server.server_address[:2]
     fusion = (
@@ -374,13 +419,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else "fusion: disabled"
     )
     print(f"serving {len(service)} model(s) {service.model_names} "
-          f"on http://{host}:{port} ({fusion})")
-    print("routes: POST /encode, GET /models, GET /stats, GET /healthz")
+          f"on http://{host}:{port} ({fusion})", flush=True)
+    print("routes: POST /encode, GET /models, GET /stats, GET /healthz",
+          flush=True)
+
+    # SIGTERM (the orchestrator's stop signal) drains exactly like Ctrl-C:
+    # in-flight handler threads finish their responses, the fuser flushes
+    # its lanes on close, and the process exits 0.
+    def _terminate(signum, frame):  # noqa: ARG001 - signal signature
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+    except KeyboardInterrupt:
         print("shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
         if fuser is not None:
             fuser.close()
@@ -499,6 +554,15 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--n-jobs", type=int, default=1,
                       help="worker processes for the grid cells; results are "
                            "bit-identical to --n-jobs 1 (default: 1)")
+    grid.add_argument("--workers",
+                      help="distribute the grid: a count (auto-spawned "
+                           "loopback worker subprocesses) or a comma-"
+                           "separated host:port list of standby workers "
+                           "(repro worker --listen); results stay "
+                           "bit-identical to the sequential run")
+    grid.add_argument("--lease-timeout", type=float, default=30.0,
+                      help="seconds a distributed worker may go silent "
+                           "before its cells are re-queued (default: 30)")
     grid.add_argument("--n-hidden", type=int, default=64)
     grid.add_argument("--epochs", type=int, default=30)
     grid.add_argument("--batch-size", type=int, default=64)
@@ -540,6 +604,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
     serve.set_defaults(func=_cmd_serve)
+
+    worker = subparsers.add_parser(
+        "worker", help="execute experiment grid cells for a coordinator"
+    )
+    worker_mode = worker.add_mutually_exclusive_group(required=True)
+    worker_mode.add_argument("--connect", metavar="HOST:PORT",
+                             help="pull cells from this coordinator, exit "
+                                  "when the grid is done")
+    worker_mode.add_argument("--listen", type=int, metavar="PORT",
+                             help="standby mode: wait for a runner to POST "
+                                  "/join (0 picks an ephemeral port)")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="bind address in standby mode")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity "
+                             "(default: host-pid-random)")
+    worker.add_argument("--poll-interval", type=float, default=0.05,
+                        help="seconds between lease polls when idle")
+    worker.add_argument("--verbose", action="store_true",
+                        help="log one line per cell")
+    worker.set_defaults(func=_cmd_worker)
 
     info = subparsers.add_parser("info", help="print an artifact's manifest summary")
     info.add_argument("--artifact", required=True)

@@ -1,0 +1,431 @@
+"""Grid coordinator: shards experiment cells to workers over JSON/HTTP.
+
+The coordinator owns the full (dataset, algorithm, repeat) cell list of a
+grid, a :class:`~repro.distributed.queue.LeaseQueue` tracking each cell's
+state, and the merged results.  Workers *pull*: they register, lease cells,
+stream back outcomes and heartbeat in between — the coordinator never dials
+a worker mid-grid, so worker loss is detected purely by silence (lease
+expiry) and tolerated by re-queueing.
+
+Routes (all JSON; the plumbing is :mod:`repro.serving.wire`)
+------------------------------------------------------------
+``POST /worker/register``  ``{protocol, worker_id}`` →
+    the run settings, the lease timeout and the heartbeat interval.
+``POST /cell/lease``       ``{worker_id}`` →
+    ``{"cell": {...}}``, ``{"idle": true}`` (nothing pending right now) or
+    ``{"stop": true}`` (grid finished, failed or draining — disconnect).
+``POST /cell/result``      ``{worker_id, cell_id, outcome}`` →
+    ``{"accepted": bool}`` (false: a duplicate of an already-merged cell).
+``POST /cell/error``       ``{worker_id, cell_id, error}`` →
+    records the remote failure; the grid aborts (deterministic errors would
+    fail on every retry).
+``POST /worker/heartbeat`` ``{worker_id}`` → renews the worker's leases.
+``POST /worker/bye``       ``{worker_id}`` → releases its leases instantly.
+``GET  /dataset/<abbr>``   → the dataset matrix (workers cache it per grid).
+``GET  /status`` / ``GET /healthz`` → queue counters / liveness.
+
+Determinism: results are keyed by cell id and later read back in the
+*grid's* order, never in arrival order, and every float crosses the wire
+bit-exactly — so the merged table is identical to the sequential run no
+matter how cells interleave, expire or duplicate.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+import time
+import urllib.parse
+from http.server import ThreadingHTTPServer
+
+from repro.distributed.errors import (
+    CellExecutionError,
+    CoordinatorDrained,
+    DistributedError,
+)
+from repro.distributed.messages import (
+    PROTOCOL_VERSION,
+    cell_to_wire,
+    check_protocol,
+    dataset_to_wire,
+    settings_to_wire,
+)
+from repro.distributed.queue import LeaseQueue
+from repro.exceptions import ValidationError
+from repro.serving.wire import JsonRequestHandler, PayloadTooLargeError
+
+__all__ = ["GridCoordinator", "coordinator_signal_drain"]
+
+
+class _CoordinatorRequestHandler(JsonRequestHandler):
+    server_version = "repro-coordinator/1.0"
+
+    @property
+    def coordinator(self) -> "GridCoordinator":
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self.send_json(
+                200, {"status": "ok", "protocol": PROTOCOL_VERSION}
+            )
+        elif self.path == "/status":
+            self.send_json(200, self.coordinator.describe())
+        elif self.path.startswith("/dataset/"):
+            name = urllib.parse.unquote(self.path[len("/dataset/"):])
+            payload = self.coordinator.dataset_payload(name)
+            if payload is None:
+                self.send_error_json(404, f"unknown dataset {name!r}")
+            else:
+                self.send_json(200, payload)
+        else:
+            self.send_error_json(404, f"unknown route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        route = self.coordinator.POST_ROUTES.get(self.path)
+        if route is None:
+            self.drain_body()
+            self.send_error_json(404, f"unknown route {self.path!r}")
+            return
+        try:
+            request = self.read_json_body()
+            response = route(self.coordinator, request)
+        except PayloadTooLargeError as exc:
+            self.send_error_json(413, str(exc))
+        except (ValidationError, ValueError, TypeError, KeyError) as exc:
+            self.send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self.send_json(200, response)
+
+
+class _CoordinatorHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, coordinator: "GridCoordinator", verbose: bool):
+        self.coordinator = coordinator
+        self.verbose = verbose
+        super().__init__(address, _CoordinatorRequestHandler)
+
+
+class GridCoordinator:
+    """Fault-tolerant coordinator for one experiment grid.
+
+    Parameters
+    ----------
+    cells : list of dict
+        Cell descriptors (``cell_id``, ``dataset_ref``, ``algorithm``,
+        ``label``, ``repeat``) in dispatch order; see
+        :func:`repro.distributed.messages.cell_to_wire`.
+    datasets : dict
+        ``abbreviation -> Dataset`` for every ``dataset_ref`` used.
+    settings : dict
+        The runner settings workers execute cells with (the same dict
+        :func:`repro.experiments.runner._run_repeat` takes).
+    host, port : bind address (port 0 → ephemeral).
+    lease_timeout : float
+        Seconds without a heartbeat before a worker's cells are re-queued.
+    clock : callable
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        cells: list[dict],
+        datasets: dict,
+        settings: dict,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        clock=time.monotonic,
+        verbose: bool = False,
+    ) -> None:
+        if not cells:
+            raise ValidationError("a grid needs at least one cell")
+        self._cells = {cell["cell_id"]: dict(cell) for cell in cells}
+        if len(self._cells) != len(cells):
+            raise ValidationError("cell ids must be unique")
+        missing = {
+            cell["dataset_ref"] for cell in cells
+        } - set(datasets)
+        if missing:
+            raise ValidationError(f"cells reference unknown datasets {sorted(missing)}")
+        self._datasets = dict(datasets)
+        self._settings_wire = settings_to_wire(settings)
+        self.queue = LeaseQueue(
+            [cell["cell_id"] for cell in cells],
+            lease_timeout=lease_timeout,
+            clock=clock,
+        )
+        self.lease_timeout = float(lease_timeout)
+        self._results: dict[str, dict] = {}
+        self._results_lock = threading.Lock()
+        self._workers: set[str] = set()
+        self._failure: str | None = None
+        self._draining = False
+        self._done_event = threading.Event()
+        self.verbose = verbose
+        self._server = _CoordinatorHTTPServer((host, port), self, verbose)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the coordinator server."""
+        return self._server.server_address[:2]
+
+    @property
+    def address_string(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "GridCoordinator":
+        """Serve in a background thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def drain(self) -> None:
+        """Stop handing out cells; workers disconnect at their next poll."""
+        self._draining = True
+        self._done_event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -------------------------------------------------------------- handlers
+    def handle_register(self, request: dict) -> dict:
+        check_protocol(request, side="worker")
+        worker_id = str(request.get("worker_id") or "")
+        if not worker_id:
+            raise ValidationError("register requires a worker_id")
+        self._workers.add(worker_id)
+        if self.verbose:  # pragma: no cover - cosmetic
+            print(f"[coordinator] worker {worker_id} registered")
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "settings": self._settings_wire,
+            "lease_timeout": self.lease_timeout,
+            # Workers renew well inside the timeout so only real silence
+            # (a dead process, a partition) ever expires a lease.
+            "heartbeat_interval": max(self.lease_timeout / 4.0, 0.05),
+            "n_cells": self.queue.n_cells,
+        }
+
+    def handle_lease(self, request: dict) -> dict:
+        worker_id = str(request.get("worker_id") or "")
+        if not worker_id:
+            raise ValidationError("lease requires a worker_id")
+        if self._draining or self._failure is not None or self.queue.done:
+            return {"stop": True}
+        cell_id = self.queue.lease(worker_id)
+        if cell_id is None:
+            # Nothing pending: either the grid is finishing on other
+            # workers (idle-poll until done) or everything is leased out.
+            return {"stop": False, "idle": True}
+        cell = self._cells[cell_id]
+        return {
+            "stop": False,
+            "cell": cell_to_wire(
+                cell_id,
+                dataset_ref=cell["dataset_ref"],
+                algorithm=cell["algorithm"],
+                label=cell["label"],
+                repeat=cell["repeat"],
+            ),
+        }
+
+    def handle_result(self, request: dict) -> dict:
+        worker_id = str(request.get("worker_id") or "")
+        cell_id = str(request.get("cell_id") or "")
+        outcome = request.get("outcome")
+        if not worker_id or not cell_id or not isinstance(outcome, dict):
+            raise ValidationError(
+                "result requires worker_id, cell_id and an outcome object"
+            )
+        if cell_id not in self._cells:
+            raise ValidationError(f"unknown cell id {cell_id!r}")
+        accepted = self.queue.complete(cell_id, worker_id)
+        if accepted:
+            with self._results_lock:
+                self._results[cell_id] = outcome
+            if self.queue.done:
+                self._done_event.set()
+        if self.verbose:  # pragma: no cover - cosmetic
+            state = "merged" if accepted else "duplicate (discarded)"
+            print(f"[coordinator] {cell_id} from {worker_id}: {state}")
+        # Telling the worker that delivered the last result to stop right
+        # here (instead of at its next lease poll) closes the window where
+        # it would race the coordinator's teardown and burn its reconnect
+        # backoff on a server that is gone.
+        return {
+            "accepted": accepted,
+            "stop": self._draining or self._failure is not None or self.queue.done,
+        }
+
+    def handle_error(self, request: dict) -> dict:
+        worker_id = str(request.get("worker_id") or "?")
+        cell_id = str(request.get("cell_id") or "?")
+        error = str(request.get("error") or "unknown error")
+        # First failure wins; the grid aborts rather than retrying an
+        # error that would reproduce deterministically on every worker.
+        if self._failure is None:
+            self._failure = (
+                f"cell {cell_id!r} failed on worker {worker_id!r}: {error}"
+            )
+        self._done_event.set()
+        return {"ok": True}
+
+    def handle_heartbeat(self, request: dict) -> dict:
+        worker_id = str(request.get("worker_id") or "")
+        if not worker_id:
+            raise ValidationError("heartbeat requires a worker_id")
+        renewed = self.queue.heartbeat(worker_id)
+        return {
+            "renewed": renewed,
+            "stop": self._draining or self._failure is not None or self.queue.done,
+        }
+
+    def handle_bye(self, request: dict) -> dict:
+        worker_id = str(request.get("worker_id") or "")
+        if not worker_id:
+            raise ValidationError("bye requires a worker_id")
+        released = self.queue.release(worker_id)
+        self._workers.discard(worker_id)
+        if self.verbose:  # pragma: no cover - cosmetic
+            print(f"[coordinator] worker {worker_id} left, "
+                  f"{released} lease(s) re-queued")
+        return {"released": released}
+
+    POST_ROUTES = {
+        "/worker/register": handle_register,
+        "/cell/lease": handle_lease,
+        "/cell/result": handle_result,
+        "/cell/error": handle_error,
+        "/worker/heartbeat": handle_heartbeat,
+        "/worker/bye": handle_bye,
+    }
+
+    # ------------------------------------------------------------ inspection
+    def dataset_payload(self, name: str) -> dict | None:
+        dataset = self._datasets.get(name)
+        if dataset is None:
+            return None
+        return dataset_to_wire(dataset)
+
+    def describe(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "queue": self.queue.counters(),
+            "n_workers": len(self._workers),
+            "draining": self._draining,
+            "failed": self._failure is not None,
+            "done": self.queue.done,
+        }
+
+    # ------------------------------------------------------------ collection
+    def wait(
+        self,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.25,
+        watchdog=None,
+    ) -> dict:
+        """Block until every cell completed; returns ``{cell_id: outcome}``.
+
+        ``outcome`` values are the raw wire payloads (decode with
+        :func:`repro.distributed.messages.outcome_from_wire`).  Raises
+        :class:`CellExecutionError` when a worker reported a failure,
+        :class:`CoordinatorDrained` after :meth:`drain` once in-flight
+        leases have finished or expired, and :class:`DistributedError` on
+        ``timeout``.  ``watchdog`` (when given) runs every poll iteration
+        and may raise to abort the wait — the runner uses it to detect a
+        loopback pool whose workers all died.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if watchdog is not None:
+                watchdog()
+            if self._failure is not None:
+                raise CellExecutionError(self._failure)
+            if self.queue.done:
+                with self._results_lock:
+                    return dict(self._results)
+            if self._draining:
+                # Give in-flight cells a chance to land, then report how
+                # far the grid got.
+                self.queue.expire_overdue()
+                if self.queue.n_leased == 0:
+                    counters = self.queue.counters()
+                    raise CoordinatorDrained(
+                        "coordinator drained with "
+                        f"{counters['n_completed']}/{counters['n_cells']} "
+                        "cells completed",
+                        n_completed=counters["n_completed"],
+                        n_total=counters["n_cells"],
+                    )
+            else:
+                # Keep expiring even when no worker is polling, so a grid
+                # whose workers all died surfaces in the counters.
+                self.queue.expire_overdue()
+            if deadline is not None and time.monotonic() >= deadline:
+                counters = self.queue.counters()
+                raise DistributedError(
+                    f"grid did not complete within {timeout:.1f}s "
+                    f"({counters['n_completed']}/{counters['n_cells']} cells)"
+                )
+            self._done_event.wait(poll)
+            self._done_event.clear()
+
+
+@contextlib.contextmanager
+def coordinator_signal_drain(coordinator: GridCoordinator):
+    """Drain the coordinator gracefully on SIGINT/SIGTERM.
+
+    Installed around blocking :meth:`GridCoordinator.wait` calls in CLI
+    paths (only the main thread may set signal handlers; library callers in
+    other threads simply do not use this).  The first signal switches the
+    grid into drain mode — no new leases, in-flight cells finish, partial
+    results stay mergeable; a second signal falls through to the previous
+    handler (typically KeyboardInterrupt).
+    """
+    seen = threading.Event()
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal signature
+        if seen.is_set():
+            previous = previous_handlers.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+            return
+        seen.set()
+        coordinator.drain()
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _drain)
+    except ValueError:
+        # Not the main thread: signals cannot be installed; run unguarded.
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)

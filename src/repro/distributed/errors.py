@@ -1,0 +1,52 @@
+"""Exception hierarchy of the distributed experiment runner.
+
+Everything derives from :class:`DistributedError` (itself a
+:class:`~repro.exceptions.ReproError`), so callers can treat "the
+distributed run failed" as one condition while the coordinator
+distinguishes protocol garbage, remote execution failures and an
+operator-requested drain.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "DistributedError",
+    "ProtocolError",
+    "WorkerJoinError",
+    "CellExecutionError",
+    "CoordinatorDrained",
+]
+
+
+class DistributedError(ReproError, RuntimeError):
+    """Base class for every distributed-runner failure."""
+
+
+class ProtocolError(DistributedError, ValueError):
+    """A coordinator/worker message is malformed or from an incompatible
+    protocol version."""
+
+
+class WorkerJoinError(DistributedError, ConnectionError):
+    """A standby worker could not be dialed or refused to join the grid."""
+
+
+class CellExecutionError(DistributedError):
+    """A worker reported a (deterministic) failure while executing a cell.
+
+    Worker *loss* is handled by lease expiry and re-queueing; an execution
+    error, by contrast, would fail identically on every retry, so the
+    coordinator aborts the grid and re-raises it with the remote traceback.
+    """
+
+
+class CoordinatorDrained(DistributedError):
+    """The coordinator was drained (SIGINT/SIGTERM) before the grid
+    completed; carries how much of the grid had finished."""
+
+    def __init__(self, message: str, *, n_completed: int = 0, n_total: int = 0):
+        super().__init__(message)
+        self.n_completed = n_completed
+        self.n_total = n_total

@@ -1,0 +1,210 @@
+"""Work-queue and lease bookkeeping of the coordinator.
+
+:class:`LeaseQueue` tracks every cell of a grid through the states
+``pending → leased → completed``.  Fault tolerance lives entirely here:
+
+* a lease carries a deadline; a worker that stops heartbeating (killed,
+  partitioned) lets its leases *expire* and the cells return to the front
+  of the pending queue for another worker;
+* completion is *idempotent*: when an expired cell is re-leased and the
+  original worker later turns out to have survived (a slow cell, not a dead
+  worker), the second completion is acknowledged but discarded — exactly
+  one result per cell reaches the table;
+* a worker can say goodbye, releasing its leases immediately instead of
+  waiting out the timeout.
+
+The clock is injectable so the expiry logic is testable deterministically
+(fake-clock tests advance time explicitly); all entry points take one lock,
+as the coordinator's HTTP handler threads call them concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["CellLease", "LeaseQueue"]
+
+
+@dataclass
+class CellLease:
+    """One active lease: which worker holds which cell until when."""
+
+    cell_id: str
+    worker_id: str
+    deadline: float
+
+
+class LeaseQueue:
+    """Lease-based work queue over a fixed set of cell ids.
+
+    Parameters
+    ----------
+    cell_ids : iterable of str
+        The work items, in dispatch order.
+    lease_timeout : float
+        Seconds a lease survives without a heartbeat before its cell is
+        re-queued.  Workers heartbeat at a fraction of this, so only a dead
+        or partitioned worker ever lets a lease lapse.
+    clock : callable, default time.monotonic
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        cell_ids,
+        *,
+        lease_timeout: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self._pending: deque[str] = deque()
+        self._known: set[str] = set()
+        for cell_id in cell_ids:
+            cell_id = str(cell_id)
+            if cell_id in self._known:
+                raise ValueError(f"duplicate cell id {cell_id!r}")
+            self._known.add(cell_id)
+            self._pending.append(cell_id)
+        self.lease_timeout = float(lease_timeout)
+        self._clock = clock
+        self._leases: dict[str, CellLease] = {}  # keyed by cell_id
+        self._completed: set[str] = set()
+        self._lock = threading.Lock()
+        self.n_requeued = 0
+        self.n_duplicates = 0
+        self.n_expired_leases = 0
+
+    # ------------------------------------------------------------- internals
+    def _expire_overdue_locked(self) -> list[str]:
+        """Re-queue every cell whose lease deadline has passed."""
+        now = self._clock()
+        expired = [
+            lease.cell_id
+            for lease in self._leases.values()
+            if lease.deadline <= now
+        ]
+        # Expired cells go to the *front* of the queue (preserving their
+        # original relative order) so a recovered grid finishes the oldest
+        # work first instead of starting fresh cells.
+        for cell_id in reversed(expired):
+            del self._leases[cell_id]
+            self._pending.appendleft(cell_id)
+            self.n_expired_leases += 1
+            self.n_requeued += 1
+        return expired
+
+    # ------------------------------------------------------------------- API
+    def lease(self, worker_id: str) -> str | None:
+        """Hand the next pending cell to ``worker_id`` (None when empty)."""
+        with self._lock:
+            self._expire_overdue_locked()
+            if not self._pending:
+                return None
+            cell_id = self._pending.popleft()
+            self._leases[cell_id] = CellLease(
+                cell_id=cell_id,
+                worker_id=str(worker_id),
+                deadline=self._clock() + self.lease_timeout,
+            )
+            return cell_id
+
+    def heartbeat(self, worker_id: str) -> int:
+        """Renew every lease held by ``worker_id``; returns how many."""
+        worker_id = str(worker_id)
+        with self._lock:
+            deadline = self._clock() + self.lease_timeout
+            renewed = 0
+            for lease in self._leases.values():
+                if lease.worker_id == worker_id:
+                    lease.deadline = deadline
+                    renewed += 1
+            return renewed
+
+    def complete(self, cell_id: str, worker_id: str) -> bool:
+        """Record a finished cell; True when this is the accepted completion.
+
+        Duplicates (a re-queued cell finishing on two workers, or a retry of
+        a lost acknowledgement) return False and are counted, keeping the
+        merge idempotent.  A completion for a cell whose lease expired — the
+        worker was presumed dead but wasn't — is still accepted when the
+        cell has not been completed elsewhere yet, saving the re-run where
+        possible.
+        """
+        cell_id, worker_id = str(cell_id), str(worker_id)
+        with self._lock:
+            if cell_id not in self._known:
+                raise KeyError(f"unknown cell id {cell_id!r}")
+            if cell_id in self._completed:
+                self.n_duplicates += 1
+                return False
+            self._completed.add(cell_id)
+            self._leases.pop(cell_id, None)
+            # The cell may sit in pending after an expiry; a completed cell
+            # must never be dispatched again.
+            try:
+                self._pending.remove(cell_id)
+            except ValueError:
+                pass
+            return True
+
+    def release(self, worker_id: str) -> int:
+        """Return every lease of a departing worker to the queue now."""
+        worker_id = str(worker_id)
+        with self._lock:
+            released = [
+                lease.cell_id
+                for lease in self._leases.values()
+                if lease.worker_id == worker_id
+            ]
+            for cell_id in reversed(released):
+                del self._leases[cell_id]
+                self._pending.appendleft(cell_id)
+                self.n_requeued += 1
+            return len(released)
+
+    def expire_overdue(self) -> list[str]:
+        """Re-queue overdue leases; returns the affected cell ids."""
+        with self._lock:
+            return self._expire_overdue_locked()
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_cells(self) -> int:
+        return len(self._known)
+
+    @property
+    def n_pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def n_leased(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    @property
+    def n_completed(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return len(self._completed) == len(self._known)
+
+    def counters(self) -> dict:
+        """Snapshot of the queue state (the coordinator's /status body)."""
+        with self._lock:
+            return {
+                "n_cells": len(self._known),
+                "n_pending": len(self._pending),
+                "n_leased": len(self._leases),
+                "n_completed": len(self._completed),
+                "n_requeued": self.n_requeued,
+                "n_duplicates": self.n_duplicates,
+                "n_expired_leases": self.n_expired_leases,
+            }

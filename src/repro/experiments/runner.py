@@ -48,6 +48,34 @@ class ExperimentCell:
             )
         return self.mean[metric]
 
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary of the cell, including its repeat reports."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "mean": dict(self.mean),
+            "variance": dict(self.variance),
+            "n_repeats": self.n_repeats,
+            "reports": [report.to_payload() for report in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentCell":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            dataset=str(payload["dataset"]),
+            algorithm=str(payload["algorithm"]),
+            mean={key: float(value) for key, value in payload["mean"].items()},
+            variance={
+                key: float(value) for key, value in payload["variance"].items()
+            },
+            n_repeats=int(payload["n_repeats"]),
+            reports=tuple(
+                ClusteringReport.from_payload(entry)
+                for entry in payload.get("reports", [])
+            ),
+        )
+
 
 class ExperimentTable:
     """Dataset-by-algorithm grid of :class:`ExperimentCell` results."""
@@ -109,6 +137,74 @@ class ExperimentTable:
     def dataset_series(self, metric: str, algorithm: str) -> list[float]:
         """Per-dataset series for one algorithm (one line of Figs. 2-4 / 6-8)."""
         return [self.cell(dataset, algorithm).value(metric) for dataset in self.dataset_order]
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary of the whole table.
+
+        Floats survive the JSON round-trip bit-exactly (shortest-repr
+        encoding), so a table written to disk and re-read compares equal
+        cell by cell — the basis for resuming grids from disk and for the
+        distributed coordinator's merge.
+        """
+        return {
+            "name": self.name,
+            "dataset_order": list(self.dataset_order),
+            "algorithm_order": list(self.algorithm_order),
+            "cells": [
+                self._cells[key].to_dict() for key in sorted(self._cells)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(
+            str(payload["name"]),
+            dataset_order=[str(d) for d in payload["dataset_order"]],
+            algorithm_order=[str(a) for a in payload["algorithm_order"]],
+        )
+        for entry in payload.get("cells", []):
+            table.add(ExperimentCell.from_dict(entry))
+        return table
+
+    @classmethod
+    def merge(
+        cls, tables: "list[ExperimentTable]", *, name: str | None = None
+    ) -> "ExperimentTable":
+        """Union several partial tables into one.
+
+        Dataset and algorithm orders are concatenated first-seen-first; a
+        (dataset, algorithm) cell present in more than one input is a
+        :class:`ValidationError` — partial grids to be merged must not
+        overlap, so a duplicated cell always signals a bookkeeping bug
+        (e.g. the same shard evaluated twice) rather than a tie to break
+        silently.
+        """
+        if not tables:
+            raise ValidationError("merge needs at least one table")
+        dataset_order: list[str] = []
+        algorithm_order: list[str] = []
+        for table in tables:
+            for dataset in table.dataset_order:
+                if dataset not in dataset_order:
+                    dataset_order.append(dataset)
+            for algorithm in table.algorithm_order:
+                if algorithm not in algorithm_order:
+                    algorithm_order.append(algorithm)
+        merged = cls(
+            name if name is not None else tables[0].name,
+            dataset_order=dataset_order,
+            algorithm_order=algorithm_order,
+        )
+        for table in tables:
+            for key, cell in table._cells.items():
+                if key in merged._cells:
+                    raise ValidationError(
+                        f"duplicate cell {key!r} while merging experiment tables"
+                    )
+                merged.add(cell)
+        return merged
 
 
 def _artifact_path(
@@ -318,6 +414,21 @@ class ExperimentRunner:
         runs may recompute a supervision that the sequential path would have
         reused (the recomputation is deterministic and yields the same
         object), and the per-worker cache statistics are merged on join.
+    workers : int or list of str, optional
+        Distributed fan-out (takes precedence over ``n_jobs``).  An int
+        auto-spawns that many local worker subprocesses against an
+        ephemeral coordinator (loopback mode — the whole stack on one
+        machine); a list of ``"host:port"`` strings dials standby workers
+        started with ``python -m repro worker --listen PORT``.  Seeding
+        derives from cell identity, never from arrival order, so the merged
+        table is bit-identical to the sequential run — including when a
+        worker dies mid-cell and its leases are re-queued.
+    lease_timeout : float, default 30.0
+        Distributed mode only: seconds a worker may go silent before its
+        leased cells are re-queued to other workers.
+    coordinator_host : str, default "127.0.0.1"
+        Distributed mode only: bind/advertise address of the coordinator;
+        use a routable address when dialing remote standby workers.
 
     Attributes
     ----------
@@ -325,6 +436,12 @@ class ExperimentRunner:
         Cells served from a persisted framework bundle instead of retraining.
     n_supervision_hits : int
         Framework fits that reused an in-memory cached supervision.
+    n_requeued_cells : int
+        Distributed runs: leases that expired or were released and went
+        back to the queue (worker loss survived).
+    n_duplicate_results : int
+        Distributed runs: completions discarded by the idempotent merge
+        (a re-queued cell that finished twice).
     """
 
     def __init__(
@@ -339,6 +456,9 @@ class ExperimentRunner:
         config_overrides: dict | None = None,
         artifact_dir: str | Path | None = None,
         n_jobs: int = 1,
+        workers: int | list[str] | tuple[str, ...] | None = None,
+        lease_timeout: float = 30.0,
+        coordinator_host: str = "127.0.0.1",
     ) -> None:
         if not algorithm_names:
             raise ValidationError("algorithm_names must not be empty")
@@ -360,9 +480,33 @@ class ExperimentRunner:
         self.config_overrides = dict(config_overrides or {})
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.n_jobs = check_positive_int(n_jobs, name="n_jobs")
+        self.workers = self._check_workers(workers)
+        if lease_timeout <= 0:
+            raise ValidationError("lease_timeout must be positive")
+        self.lease_timeout = float(lease_timeout)
+        self.coordinator_host = str(coordinator_host)
         self._supervision_cache: dict[tuple, object] = {}
         self.n_artifact_hits = 0
         self.n_supervision_hits = 0
+        self.n_requeued_cells = 0
+        self.n_duplicate_results = 0
+
+    @staticmethod
+    def _check_workers(workers):
+        if workers is None:
+            return None
+        if isinstance(workers, bool):
+            raise ValidationError("workers must be an int or a list of host:port")
+        if isinstance(workers, int):
+            return check_positive_int(workers, name="workers")
+        from repro.distributed.worker import parse_address
+
+        addresses = [str(address) for address in workers]
+        if not addresses:
+            raise ValidationError("workers list must not be empty")
+        for address in addresses:
+            parse_address(address)  # raises ValidationError on malformed
+        return addresses
 
     # ----------------------------------------------------------------- plumbing
     def _settings(self) -> dict:
@@ -405,10 +549,100 @@ class ExperimentRunner:
             reports=tuple(reports),
         )
 
+    def _evaluate_cells_distributed(
+        self, pairs: list[tuple[Dataset, str]]
+    ) -> list[ExperimentCell]:
+        """Fan the (dataset, algorithm, repeat) cells out over the wire.
+
+        Loopback mode (``workers`` is an int) spawns local worker
+        subprocesses against an ephemeral coordinator; address mode dials
+        standby workers.  Outcomes are re-assembled in grid order — cell
+        ``(pair i, repeat r)`` always lands at the same position no matter
+        which worker computed it or how often it was re-queued — so the
+        merged table is bit-identical to the sequential run.
+        """
+        from repro.distributed.coordinator import (
+            GridCoordinator,
+            coordinator_signal_drain,
+        )
+        from repro.distributed.errors import DistributedError
+        from repro.distributed.messages import outcome_from_wire
+        from repro.distributed.worker import (
+            dial_standby_workers,
+            spawn_loopback_workers,
+        )
+
+        settings = self._settings()
+        datasets: dict[str, Dataset] = {}
+        cells = []
+        for index, (dataset, algorithm) in enumerate(pairs):
+            datasets.setdefault(dataset.abbreviation, dataset)
+            entry = self._algorithms.get(algorithm, algorithm)
+            for repeat in range(self.n_repeats):
+                cells.append(
+                    {
+                        "cell_id": f"{index}:{repeat}",
+                        "dataset_ref": dataset.abbreviation,
+                        "algorithm": entry,
+                        "label": algorithm,
+                        "repeat": repeat,
+                    }
+                )
+
+        coordinator = GridCoordinator(
+            cells,
+            datasets,
+            settings,
+            host=self.coordinator_host,
+            lease_timeout=self.lease_timeout,
+        ).start()
+        pool = None
+        try:
+            if isinstance(self.workers, int):
+                pool = spawn_loopback_workers(
+                    self.workers, coordinator.address_string
+                )
+
+                def watchdog() -> None:
+                    if pool.n_alive == 0 and not coordinator.queue.done:
+                        raise DistributedError(
+                            f"all {len(pool)} loopback workers exited before "
+                            "the grid completed"
+                        )
+
+            else:
+                dial_standby_workers(self.workers, coordinator.address_string)
+                watchdog = None
+            with coordinator_signal_drain(coordinator):
+                raw = coordinator.wait(poll=0.05, watchdog=watchdog)
+        finally:
+            coordinator.stop()
+            if pool is not None:
+                pool.terminate()
+            counters = coordinator.queue.counters()
+            self.n_requeued_cells += counters["n_requeued"]
+            self.n_duplicate_results += counters["n_duplicates"]
+
+        outcomes = {
+            cell_id: outcome_from_wire(payload)
+            for cell_id, payload in raw.items()
+        }
+        results = []
+        for index, (dataset, algorithm) in enumerate(pairs):
+            chunk = [
+                outcomes[f"{index}:{repeat}"]
+                for repeat in range(self.n_repeats)
+            ]
+            results.append(self._merge_cell(dataset, algorithm, chunk))
+        return results
+
     def _evaluate_cells(
         self, pairs: list[tuple[Dataset, str]]
     ) -> list[ExperimentCell]:
-        """Evaluate (dataset, algorithm) pairs, sequentially or via the pool."""
+        """Evaluate (dataset, algorithm) pairs: sequentially, via the
+        process pool, or distributed over workers."""
+        if self.workers is not None:
+            return self._evaluate_cells_distributed(pairs)
         settings = self._settings()
         if self.n_jobs == 1 or len(pairs) * self.n_repeats == 1:
             cells = []

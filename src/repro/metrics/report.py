@@ -51,6 +51,36 @@ class ClusteringReport:
     def __getitem__(self, key: str) -> float:
         return self.as_dict()[key]
 
+    def to_payload(self) -> dict:
+        """JSON-safe dictionary carrying every field of the report.
+
+        Python's JSON encoder emits the shortest float repr that round-trips
+        exactly, so ``from_payload(json.loads(json.dumps(to_payload())))``
+        reconstructs a bit-identical report — the property the distributed
+        experiment protocol and :meth:`ExperimentTable.to_dict` rely on.
+        """
+        return {
+            **self.as_dict(),
+            "n_samples": self.n_samples,
+            "n_clusters": self.n_clusters,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusteringReport":
+        """Rebuild a report from :meth:`to_payload` output."""
+        return cls(
+            accuracy=float(payload["accuracy"]),
+            purity=float(payload["purity"]),
+            rand=float(payload["rand"]),
+            adjusted_rand=float(payload["adjusted_rand"]),
+            fmi=float(payload["fmi"]),
+            nmi=float(payload["nmi"]),
+            n_samples=int(payload["n_samples"]),
+            n_clusters=int(payload["n_clusters"]),
+            extras=dict(payload.get("extras", {})),
+        )
+
 
 def evaluate_clustering(labels_true, labels_pred) -> ClusteringReport:
     """Compute every external metric for a predicted clustering."""

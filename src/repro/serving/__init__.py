@@ -16,12 +16,16 @@ from repro.serving.cache import LRUFeatureCache, input_digest
 from repro.serving.fusion import BatchFuser, FusionTicket
 from repro.serving.service import EncodingService
 from repro.serving.stats import ModelStats
+from repro.serving.wire import JsonRequestHandler, PayloadTooLargeError, request_json
 
 __all__ = [
     "BatchFuser",
     "EncodingService",
     "FusionTicket",
+    "JsonRequestHandler",
     "LRUFeatureCache",
     "ModelStats",
+    "PayloadTooLargeError",
     "input_digest",
+    "request_json",
 ]

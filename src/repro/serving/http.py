@@ -4,7 +4,10 @@ A deliberately dependency-free JSON-over-HTTP layer built on the stdlib
 :class:`http.server.ThreadingHTTPServer` — one handler thread per
 connection, which is exactly the concurrency shape the
 :class:`~repro.serving.fusion.BatchFuser` coalesces: simultaneous ``/encode``
-requests for the same model are answered by shared fused matmuls.
+requests for the same model are answered by shared fused matmuls.  The
+request/response plumbing (JSON bodies, Content-Length validation, the
+413 size cap) lives in :mod:`repro.serving.wire`, shared with the
+distributed experiment protocol.
 
 Routes
 ------
@@ -20,103 +23,59 @@ Routes
     responds ``{"features": [[...], ...], "shape": [n, k], "dtype": ...}``.
 
 Error mapping: unknown model name → 404, invalid input or body → 400,
-anything else → 500; every error body is ``{"error": message}``.
+oversized body → 413, anything else → 500; every error body is
+``{"error": message}``.
 """
 
 from __future__ import annotations
 
-import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 
 import numpy as np
 
 from repro.exceptions import ServingError, ValidationError
 from repro.serving.fusion import BatchFuser
 from repro.serving.service import EncodingService
+from repro.serving.wire import MAX_BODY_BYTES, JsonRequestHandler, PayloadTooLargeError
 
-__all__ = ["EncodingHTTPServer", "build_server"]
-
-#: Reject request bodies larger than this many bytes (64 MiB of JSON text).
-MAX_BODY_BYTES = 64 * 1024 * 1024
+__all__ = ["EncodingHTTPServer", "build_server", "MAX_BODY_BYTES"]
 
 
-class _EncodingRequestHandler(BaseHTTPRequestHandler):
+class _EncodingRequestHandler(JsonRequestHandler):
     server_version = "repro-serve/1.0"
-    protocol_version = "HTTP/1.1"
-
-    # ----------------------------------------------------------- plumbing
-    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        if self.server.verbose:  # type: ignore[attr-defined]
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
 
     # ------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service: EncodingService = self.server.service  # type: ignore[attr-defined]
         if self.path == "/healthz":
-            self._send_json(
+            self.send_json(
                 200, {"status": "ok", "models": service.model_names}
             )
         elif self.path == "/models":
-            self._send_json(200, {"models": self.server.describe_models()})  # type: ignore[attr-defined]
+            self.send_json(200, {"models": self.server.describe_models()})  # type: ignore[attr-defined]
         elif self.path == "/stats":
-            self._send_json(200, self.server.describe_stats())  # type: ignore[attr-defined]
+            self.send_json(200, self.server.describe_stats())  # type: ignore[attr-defined]
         else:
-            self._send_error_json(404, f"unknown route {self.path!r}")
+            self.send_error_json(404, f"unknown route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/encode":
-            # Drain (or close past) the unread body so the keep-alive
-            # connection stays in sync for the client's next request.
-            length = int(self.headers.get("Content-Length", 0))
-            if 0 < length <= MAX_BODY_BYTES:
-                self.rfile.read(length)
-            elif length > 0:
-                self.close_connection = True
-            self._send_error_json(404, f"unknown route {self.path!r}")
+            self.drain_body()
+            self.send_error_json(404, f"unknown route {self.path!r}")
             return
         try:
-            request = self._read_json_body()
+            request = self.read_json_body()
             response = self.server.handle_encode(request)  # type: ignore[attr-defined]
         except ServingError as exc:
-            self._send_error_json(404, str(exc))
+            self.send_error_json(404, str(exc))
+        except PayloadTooLargeError as exc:
+            self.send_error_json(413, str(exc))
         except (ValidationError, ValueError, TypeError) as exc:
-            self._send_error_json(400, str(exc))
+            self.send_error_json(400, str(exc))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            self.send_error_json(500, f"{type(exc).__name__}: {exc}")
         else:
-            self._send_json(200, response)
-
-    def _read_json_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            raise ValidationError("POST /encode requires a JSON body")
-        if length > MAX_BODY_BYTES:
-            # The unread body would desync a keep-alive connection (the next
-            # request line would be parsed out of the body bytes), so force
-            # this connection closed after the error response.
-            self.close_connection = True
-            raise ValidationError(
-                f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
-            )
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ValidationError("request body must be a JSON object")
-        return payload
+            self.send_json(200, response)
 
 
 class EncodingHTTPServer(ThreadingHTTPServer):

@@ -1,0 +1,205 @@
+"""Deterministic fake-clock tests for the coordinator's lease queue.
+
+Every fault-tolerance rule — expiry, re-queue order, heartbeat renewal,
+idempotent completion — is driven here by advancing an explicit clock, so
+the suite never sleeps and never races.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import CellLease, LeaseQueue
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_queue(clock, cells=("a", "b", "c"), lease_timeout=10.0):
+    return LeaseQueue(cells, lease_timeout=lease_timeout, clock=clock)
+
+
+class TestConstruction:
+    def test_duplicate_cell_ids_rejected(self, clock):
+        with pytest.raises(ValueError, match="duplicate cell id"):
+            make_queue(clock, cells=["a", "b", "a"])
+
+    def test_nonpositive_lease_timeout_rejected(self, clock):
+        with pytest.raises(ValueError, match="lease_timeout"):
+            make_queue(clock, lease_timeout=0)
+
+    def test_initial_counters(self, clock):
+        queue = make_queue(clock)
+        assert queue.counters() == {
+            "n_cells": 3,
+            "n_pending": 3,
+            "n_leased": 0,
+            "n_completed": 0,
+            "n_requeued": 0,
+            "n_duplicates": 0,
+            "n_expired_leases": 0,
+        }
+        assert not queue.done
+
+
+class TestLeasing:
+    def test_fifo_dispatch_order(self, clock):
+        queue = make_queue(clock)
+        assert [queue.lease("w") for _ in range(3)] == ["a", "b", "c"]
+        assert queue.lease("w") is None
+
+    def test_lease_records_worker_and_deadline(self, clock):
+        queue = make_queue(clock, lease_timeout=7.0)
+        clock.advance(3.0)
+        queue.lease("w1")
+        lease = queue._leases["a"]
+        assert lease == CellLease(cell_id="a", worker_id="w1", deadline=10.0)
+
+    def test_empty_queue_returns_none_while_leased(self, clock):
+        queue = make_queue(clock, cells=["only"])
+        assert queue.lease("w1") == "only"
+        # Nothing pending, but the grid is not done either: the caller
+        # idles until the in-flight cell lands or expires.
+        assert queue.lease("w2") is None
+        assert not queue.done
+
+
+class TestExpiry:
+    def test_lease_expires_exactly_at_deadline(self, clock):
+        queue = make_queue(clock, lease_timeout=10.0)
+        queue.lease("w1")
+        clock.advance(9.999)
+        assert queue.expire_overdue() == []
+        clock.advance(0.001)
+        assert queue.expire_overdue() == ["a"]
+        assert queue.n_requeued == 1
+        assert queue.n_expired_leases == 1
+
+    def test_expired_cells_requeue_to_front_in_order(self, clock):
+        queue = make_queue(clock, cells=["a", "b", "c", "d"], lease_timeout=5.0)
+        assert queue.lease("w1") == "a"
+        assert queue.lease("w1") == "b"
+        clock.advance(6.0)
+        # Both of w1's cells lapse; they come back at the *front* of the
+        # queue in their original relative order, ahead of untouched "c".
+        assert queue.expire_overdue() == ["a", "b"]
+        assert [queue.lease("w2") for _ in range(4)] == ["a", "b", "c", "d"]
+
+    def test_lease_call_expires_overdue_first(self, clock):
+        queue = make_queue(clock, cells=["a", "b"], lease_timeout=5.0)
+        queue.lease("w1")
+        queue.lease("w1")
+        clock.advance(6.0)
+        # No explicit expire_overdue(): the next lease() call sweeps.
+        assert queue.lease("w2") == "a"
+        assert queue.n_requeued == 2
+
+
+class TestHeartbeat:
+    def test_heartbeat_renews_all_worker_leases(self, clock):
+        queue = make_queue(clock, lease_timeout=10.0)
+        queue.lease("w1")
+        queue.lease("w1")
+        queue.lease("w2")
+        clock.advance(8.0)
+        assert queue.heartbeat("w1") == 2
+        clock.advance(4.0)
+        # w2 never heartbeat: its cell lapses; w1's renewed leases survive.
+        assert queue.expire_overdue() == ["c"]
+        assert queue.n_leased == 2
+
+    def test_heartbeat_for_unknown_worker_renews_nothing(self, clock):
+        queue = make_queue(clock)
+        queue.lease("w1")
+        assert queue.heartbeat("ghost") == 0
+
+
+class TestCompletion:
+    def test_complete_is_idempotent(self, clock):
+        queue = make_queue(clock, cells=["a"])
+        queue.lease("w1")
+        assert queue.complete("a", "w1") is True
+        assert queue.complete("a", "w2") is False
+        assert queue.n_duplicates == 1
+        assert queue.n_completed == 1
+        assert queue.done
+
+    def test_unknown_cell_raises(self, clock):
+        queue = make_queue(clock)
+        with pytest.raises(KeyError, match="unknown cell id"):
+            queue.complete("nope", "w1")
+
+    def test_late_completion_from_presumed_dead_worker_is_accepted(self, clock):
+        queue = make_queue(clock, cells=["a"], lease_timeout=5.0)
+        queue.lease("w1")
+        clock.advance(6.0)
+        assert queue.expire_overdue() == ["a"]
+        # w1 was slow, not dead: its result arrives before anyone re-leased
+        # the cell.  Accept it (saves the re-run) and drop the cell from
+        # pending so it is never dispatched again.
+        assert queue.complete("a", "w1") is True
+        assert queue.lease("w2") is None
+        assert queue.done
+
+    def test_requeued_cell_completing_twice_keeps_first(self, clock):
+        queue = make_queue(clock, cells=["a"], lease_timeout=5.0)
+        queue.lease("w1")
+        clock.advance(6.0)
+        queue.expire_overdue()
+        assert queue.lease("w2") == "a"
+        assert queue.complete("a", "w2") is True
+        # The original worker resurfaces with the same cell: discarded.
+        assert queue.complete("a", "w1") is False
+        assert queue.counters()["n_duplicates"] == 1
+
+
+class TestRelease:
+    def test_release_returns_leases_to_front(self, clock):
+        queue = make_queue(clock, cells=["a", "b", "c"])
+        queue.lease("w1")
+        queue.lease("w1")
+        assert queue.release("w1") == 2
+        assert [queue.lease("w2") for _ in range(3)] == ["a", "b", "c"]
+        assert queue.n_requeued == 2
+
+    def test_release_without_leases_is_a_noop(self, clock):
+        queue = make_queue(clock)
+        assert queue.release("w1") == 0
+        assert queue.n_pending == 3
+
+
+class TestFullLifecycle:
+    def test_grid_survives_worker_loss(self, clock):
+        """The canonical recovery story, step by deterministic step."""
+        queue = make_queue(clock, cells=["a", "b", "c", "d"], lease_timeout=10.0)
+        assert queue.lease("w1") == "a"
+        assert queue.lease("w2") == "b"
+        assert queue.complete("b", "w2") is True
+        assert queue.lease("w2") == "c"
+        # w1 dies silently holding "a"; w2 keeps heartbeating.
+        clock.advance(8.0)
+        queue.heartbeat("w2")
+        clock.advance(4.0)
+        assert queue.complete("c", "w2") is True
+        assert queue.lease("w2") == "a"  # expired, re-queued ahead of "d"
+        assert queue.complete("a", "w2") is True
+        assert queue.lease("w2") == "d"
+        assert queue.complete("d", "w2") is True
+        assert queue.done
+        counters = queue.counters()
+        assert counters["n_completed"] == 4
+        assert counters["n_requeued"] == 1
+        assert counters["n_duplicates"] == 0

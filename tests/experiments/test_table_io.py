@@ -1,0 +1,137 @@
+"""JSON round-trip and merge semantics of :class:`ExperimentTable`."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.runner import ExperimentCell, ExperimentTable
+from repro.metrics.report import ClusteringReport
+
+METRICS = ("accuracy", "purity", "rand", "adjusted_rand", "fmi", "nmi")
+
+
+def make_report(seed: int) -> ClusteringReport:
+    rng = np.random.default_rng(seed)
+    values = {metric: float(rng.random()) for metric in METRICS}
+    return ClusteringReport(
+        **values, n_samples=50, n_clusters=3, extras={"seed": seed}
+    )
+
+
+def make_cell(dataset: str, algorithm: str, seed: int = 0) -> ExperimentCell:
+    reports = (make_report(seed), make_report(seed + 1))
+    mean = {
+        metric: float(np.mean([r[metric] for r in reports]))
+        for metric in METRICS
+    }
+    variance = {
+        metric: float(np.var([r[metric] for r in reports]))
+        for metric in METRICS
+    }
+    return ExperimentCell(
+        dataset=dataset,
+        algorithm=algorithm,
+        mean=mean,
+        variance=variance,
+        n_repeats=2,
+        reports=reports,
+    )
+
+
+def make_table(datasets=("IR", "WI"), algorithms=("DP", "K-means")):
+    table = ExperimentTable("t", list(datasets), list(algorithms))
+    for i, dataset in enumerate(datasets):
+        for j, algorithm in enumerate(algorithms):
+            table.add(make_cell(dataset, algorithm, seed=10 * i + j))
+    return table
+
+
+class TestCellRoundTrip:
+    def test_bit_identical_through_json(self):
+        cell = make_cell("IR", "DP")
+        rebuilt = ExperimentCell.from_dict(
+            json.loads(json.dumps(cell.to_dict()))
+        )
+        assert rebuilt == cell
+        assert rebuilt.reports == cell.reports
+
+    def test_reports_default_to_empty(self):
+        payload = make_cell("IR", "DP").to_dict()
+        del payload["reports"]
+        rebuilt = ExperimentCell.from_dict(payload)
+        assert rebuilt.reports == ()
+
+
+class TestTableRoundTrip:
+    def test_bit_identical_through_json(self):
+        table = make_table()
+        rebuilt = ExperimentTable.from_dict(
+            json.loads(json.dumps(table.to_dict()))
+        )
+        assert rebuilt.name == table.name
+        assert rebuilt.dataset_order == table.dataset_order
+        assert rebuilt.algorithm_order == table.algorithm_order
+        assert rebuilt.to_dict() == table.to_dict()
+        np.testing.assert_array_equal(
+            rebuilt.metric_matrix("accuracy"), table.metric_matrix("accuracy")
+        )
+
+    def test_partial_table_roundtrips(self):
+        table = ExperimentTable("partial", ["IR", "WI"], ["DP"])
+        table.add(make_cell("IR", "DP"))
+        rebuilt = ExperimentTable.from_dict(table.to_dict())
+        assert ("IR", "DP") in rebuilt
+        assert ("WI", "DP") not in rebuilt
+
+    def test_cells_serialized_in_stable_order(self):
+        table = make_table()
+        keys = [
+            (entry["dataset"], entry["algorithm"])
+            for entry in table.to_dict()["cells"]
+        ]
+        assert keys == sorted(keys)
+
+
+class TestMerge:
+    def test_merges_disjoint_shards(self):
+        full = make_table()
+        shard_a = ExperimentTable("t", ["IR"], ["DP", "K-means"])
+        shard_b = ExperimentTable("t", ["WI"], ["DP", "K-means"])
+        for dataset, shard in (("IR", shard_a), ("WI", shard_b)):
+            for algorithm in ("DP", "K-means"):
+                shard.add(full.cell(dataset, algorithm))
+        merged = ExperimentTable.merge([shard_a, shard_b])
+        assert merged.to_dict() == full.to_dict()
+
+    def test_orders_concatenate_first_seen_first(self):
+        shard_a = ExperimentTable("t", ["WI"], ["K-means"])
+        shard_b = ExperimentTable("t", ["IR", "WI"], ["DP", "K-means"])
+        merged = ExperimentTable.merge([shard_a, shard_b])
+        assert merged.dataset_order == ["WI", "IR"]
+        assert merged.algorithm_order == ["K-means", "DP"]
+
+    def test_name_defaults_to_first_table(self):
+        merged = ExperimentTable.merge(
+            [ExperimentTable("alpha", [], []), ExperimentTable("beta", [], [])]
+        )
+        assert merged.name == "alpha"
+        renamed = ExperimentTable.merge(
+            [ExperimentTable("alpha", [], [])], name="joint"
+        )
+        assert renamed.name == "joint"
+
+    def test_duplicate_cell_raises(self):
+        shard_a = ExperimentTable("t", ["IR"], ["DP"])
+        shard_b = ExperimentTable("t", ["IR"], ["DP"])
+        shard_a.add(make_cell("IR", "DP", seed=0))
+        shard_b.add(make_cell("IR", "DP", seed=99))
+        with pytest.raises(ValidationError, match="duplicate cell"):
+            ExperimentTable.merge([shard_a, shard_b])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValidationError, match="at least one table"):
+            ExperimentTable.merge([])

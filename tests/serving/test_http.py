@@ -234,3 +234,86 @@ class TestWithoutFusion:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+class TestRequestHardening:
+    """Malformed framing must get an error response, never a hung thread."""
+
+    @staticmethod
+    def raw_request(base, headers, body=b""):
+        """POST /encode with hand-rolled headers (http.client would insert
+        a correct Content-Length, which is exactly what these tests must
+        be able to omit or corrupt)."""
+        import http.client
+
+        host, port = base.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            connection.putrequest("POST", "/encode", skip_accept_encoding=True)
+            for name, value in headers.items():
+                connection.putheader(name, value)
+            connection.endheaders()
+            if body:
+                connection.send(body)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_oversized_content_length_is_413(self, server_stack):
+        from repro.serving.http import MAX_BODY_BYTES
+
+        _, _, _, base = server_stack
+        # The server must reject from the header alone — this request never
+        # sends (nor could it) the advertised 64 MiB body.
+        status, payload = self.raw_request(
+            base, {"Content-Length": str(MAX_BODY_BYTES + 1)}
+        )
+        assert status == 413
+        assert "exceeds" in payload["error"]
+
+    def test_missing_content_length_is_400(self, server_stack):
+        _, _, _, base = server_stack
+        status, payload = self.raw_request(base, {})
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    @pytest.mark.parametrize("value", ["not-a-number", "-5", "1e6"])
+    def test_invalid_content_length_is_400(self, server_stack, value):
+        _, _, _, base = server_stack
+        status, payload = self.raw_request(base, {"Content-Length": value})
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_zero_content_length_is_400(self, server_stack):
+        _, _, _, base = server_stack
+        status, payload = self.raw_request(base, {"Content-Length": "0"})
+        assert status == 400
+        assert "body" in payload["error"]
+
+    def test_oversized_post_to_unknown_route_is_404_not_hang(self, server_stack):
+        from repro.serving.http import MAX_BODY_BYTES
+
+        _, _, _, base = server_stack
+        import http.client
+
+        host, port = base.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            connection.putrequest("POST", "/nope", skip_accept_encoding=True)
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            # drain_body() cannot consume a body past the cap; the route
+            # error wins and the connection is severed instead of read dry.
+            assert response.status == 404
+        finally:
+            connection.close()
+
+    def test_server_stays_responsive_after_rejections(self, server_stack):
+        _, _, data, base = server_stack
+        self.raw_request(base, {"Content-Length": "garbage"})
+        payload = post_json(
+            base + "/encode", {"model": "ir", "data": data[:2].tolist()}
+        )
+        assert payload["model"] == "ir"

@@ -296,3 +296,84 @@ class TestInfo:
         assert manifest["kind"] == "framework"
         assert manifest["schema_version"] == SCHEMA_VERSION
         assert manifest["spec"]["type"] == "framework"
+
+
+class TestServeSigterm:
+    def test_sigterm_drains_and_exits_zero(self, artifact):
+        """``repro serve`` under an orchestrator: SIGTERM must shut the
+        server down exactly like Ctrl-C — flush, say goodbye, exit 0."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = str((Path(__file__).resolve().parents[1] / "src"))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--artifact", f"ir={artifact}", "--port", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30
+            lines = []
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    time.sleep(0.05)
+                    continue
+                lines.append(line)
+                match = re.search(r"on http://[\d.]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, "server never announced: " + "".join(lines)
+
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as response:
+                assert response.status == 200
+
+            process.send_signal(signal.SIGTERM)
+            remaining = process.communicate(timeout=30)[0]
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert process.returncode == 0
+        assert "shutting down" in remaining
+
+
+class TestWorkersFlag:
+    def test_parse_count_and_addresses(self):
+        from repro.cli import _parse_workers
+
+        assert _parse_workers(None) is None
+        assert _parse_workers("4") == 4
+        assert _parse_workers("a:1, b:2") == ["a:1", "b:2"]
+
+    def test_parse_empty_list_is_an_error(self):
+        from repro.cli import _parse_workers
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            _parse_workers(" , ")
+
+    def test_worker_subcommand_requires_a_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+        err = capsys.readouterr().err
+        assert "--connect" in err or "--listen" in err
+
+    def test_worker_connect_and_listen_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "h:1", "--listen", "0"])
