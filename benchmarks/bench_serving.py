@@ -10,7 +10,10 @@ Measures the costs that matter for the train/serve split:
   requests, served unfused (one matmul each, serialised on the model's
   compute lock) vs through the :class:`~repro.serving.BatchFuser` (requests
   coalesced into shared stacked matmuls).  Fused results are checked
-  bit-identical to direct encodes before any number is reported.
+  bit-identical to direct encodes before any number is reported;
+* **overload shedding** — the HTTP front end with admission control armed
+  (``max_in_flight``) under a client flood: how cheap a 503 rejection is
+  compared to an accepted encode, and the accepted/shed split.
 
 Runs standalone without pytest and writes the machine-readable report::
 
@@ -259,6 +262,120 @@ def run_concurrent_fusion_bench(
     }
 
 
+# ------------------------------------------------------------ overload bench
+def run_overload_bench(
+    framework,
+    *,
+    max_in_flight: int = 2,
+    n_clients: int = 8,
+    requests_per_client: int = 25,
+    rows_per_request: int = 4,
+    shed_probe_requests: int = 200,
+) -> dict:
+    """Admission control under flood: shed cost vs accepted cost.
+
+    Serves the framework over the real HTTP front end with
+    ``max_in_flight`` admission slots and floods it from ``n_clients``
+    closed-loop threads — more clients than slots, so a fraction of the
+    requests is shed with 503 + ``Retry-After`` while the rest encode
+    normally.  A separate deterministic probe fills every slot via
+    ``try_admit`` and times pure rejections, measuring the fast path an
+    overloaded server falls back to: shedding must stay orders of
+    magnitude cheaper than computing.
+    """
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    from repro.serving.http import build_server
+
+    model = framework.model_
+    n_features = model.weights_.shape[0]
+    rng = np.random.default_rng(11)
+    matrix = rng.random((rows_per_request, n_features)).tolist()
+    payload = json_module.dumps({"model": "m", "data": matrix,
+                                 "use_cache": False}).encode("utf-8")
+
+    service = EncodingService(cache_entries=0)
+    service.register("m", model)
+    fuser = BatchFuser(service, max_batch_rows=n_clients * rows_per_request,
+                       max_wait_ms=2.0, use_cache=False)
+    server = build_server(service, fuser=fuser, port=0,
+                          max_in_flight=max_in_flight, retry_after=0.05)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}/encode"
+
+    def post_once() -> int:
+        request = urllib.request.Request(
+            url, data=payload, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                response.read()
+                return response.status
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            return exc.code
+
+    try:
+        # --- accepted-request latency (no contention) ----------------------
+        for _ in range(5):  # warmup: scratch buffers, keep-alive, fuser
+            post_once()
+        start = time.perf_counter()
+        for _ in range(20):
+            post_once()
+        accepted_latency_ms = (time.perf_counter() - start) / 20 * 1e3
+
+        # --- pure-shed latency: every slot occupied ------------------------
+        for _ in range(max_in_flight):
+            assert server.try_admit()
+        start = time.perf_counter()
+        for _ in range(shed_probe_requests):
+            status = post_once()
+            assert status == 503
+        shed_latency_ms = (
+            (time.perf_counter() - start) / shed_probe_requests * 1e3
+        )
+        for _ in range(max_in_flight):
+            server.release_request()
+
+        # --- flood: more clients than slots --------------------------------
+        statuses: list[list[int]] = [[] for _ in range(n_clients)]
+
+        def flood_one(client_index: int) -> None:
+            for _ in range(requests_per_client):
+                statuses[client_index].append(post_once())
+
+        flood_seconds = _run_clients(n_clients, flood_one)
+        flat = [status for per_client in statuses for status in per_client]
+        n_accepted = sum(1 for status in flat if status == 200)
+        n_shed = sum(1 for status in flat if status == 503)
+        admission = server.admission.as_dict()
+    finally:
+        fuser.close()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    return {
+        "max_in_flight": max_in_flight,
+        "n_clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "rows_per_request": rows_per_request,
+        "accepted_latency_ms": accepted_latency_ms,
+        "shed_latency_ms": shed_latency_ms,
+        "shed_over_accepted": shed_latency_ms / accepted_latency_ms,
+        "flood_seconds": flood_seconds,
+        "flood_n_accepted": n_accepted,
+        "flood_n_shed": n_shed,
+        "flood_shed_fraction": n_shed / max(1, len(flat)),
+        "accepted_requests_per_second": n_accepted / flood_seconds,
+        "peak_in_flight": admission["peak_in_flight"],
+        "n_deadline_shed": admission["n_deadline_shed"],
+    }
+
+
 # ------------------------------------------------------------------ sections
 def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None) -> dict:
     start = time.perf_counter()
@@ -299,6 +416,11 @@ def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None
         pipeline_depth=1,
         repeats=2,
     )
+    overload = run_overload_bench(
+        fusion_model,
+        requests_per_client=10 if smoke else 25,
+        shed_probe_requests=50 if smoke else 200,
+    )
     return {
         "cold_load": {"seconds": cold_load_seconds},
         "cache": {
@@ -309,6 +431,7 @@ def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None
         },
         "concurrent_fusion": fusion,
         "concurrent_fusion_sync": fusion_sync,
+        "overload": overload,
     }
 
 
@@ -335,6 +458,16 @@ def _format_summary_lines(sections: dict) -> str:
             f"fused {fusion['fused_samples_per_second']:,.0f} samples/s "
             f"({fusion['fused_over_unfused']:.2f}x, fusion ratio "
             f"{fusion['fusion_ratio']:.1f}, bit_identical={fusion['bit_identical']})"
+        )
+    overload = sections.get("overload")
+    if overload is not None:
+        lines.append(
+            f"overload ({overload['n_clients']} clients vs "
+            f"{overload['max_in_flight']} slots): "
+            f"shed 503 in {overload['shed_latency_ms']:.2f} ms vs "
+            f"{overload['accepted_latency_ms']:.2f} ms accepted, "
+            f"flood shed fraction {overload['flood_shed_fraction']:.0%}, "
+            f"accepted {overload['accepted_requests_per_second']:,.0f} req/s"
         )
     return "\n".join(lines)
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -292,12 +293,17 @@ def _cmd_evaluate_grid(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         workers=_parse_workers(args.workers),
         lease_timeout=args.lease_timeout,
+        journal=args.journal,
+        resume=args.resume,
+        max_cell_retries=args.max_cell_retries,
+        secret=args.secret,
     )
     table = runner.run_suite(suite)
     print(format_table(table, args.metric, title=f"{suite.name}: {args.metric}"))
     distribution = (
         f"workers={args.workers}, re-queued cells: {runner.n_requeued_cells}, "
-        f"duplicate results: {runner.n_duplicate_results}"
+        f"duplicate results: {runner.n_duplicate_results}, "
+        f"retried cells: {runner.n_retried_cells}"
         if runner.workers is not None
         else f"n_jobs={args.n_jobs}"
     )
@@ -306,6 +312,20 @@ def _cmd_evaluate_grid(args: argparse.Namespace) -> int:
         f"{args.repeats} repeats, {distribution}, "
         f"supervision cache hits: {runner.n_supervision_hits}"
     )
+    if runner.workers is not None and runner.n_journal_replayed:
+        print(f"journal: {runner.n_journal_replayed} cell(s) replayed from "
+              f"{args.journal} (crash resume)")
+    if runner.quarantined_workers:
+        print(f"quarantined workers: {', '.join(runner.quarantined_workers)}")
+    if args.table_out is not None:
+        out = Path(args.table_out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(table.to_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"table written to {out}")
     return 0
 
 
@@ -333,6 +353,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     argv += ["--host", args.host, "--poll-interval", str(args.poll_interval)]
     if args.worker_id is not None:
         argv += ["--worker-id", args.worker_id]
+    if args.secret is not None:
+        argv += ["--secret", args.secret]
     if args.verbose:
         argv.append("--verbose")
     return worker_main(argv)
@@ -402,6 +424,9 @@ def _build_serving_stack(args: argparse.Namespace):
         fuser=fuser,
         host=args.host,
         port=args.port,
+        max_in_flight=args.max_in_flight,
+        retry_after=args.retry_after,
+        secret=args.secret,
         verbose=args.verbose,
     )
     return service, fuser, server
@@ -563,6 +588,22 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--lease-timeout", type=float, default=30.0,
                       help="seconds a distributed worker may go silent "
                            "before its cells are re-queued (default: 30)")
+    grid.add_argument("--journal", metavar="PATH",
+                      help="distributed mode: append-only JSONL write-ahead "
+                           "journal; every accepted cell result is fsync'd "
+                           "there before it is acknowledged")
+    grid.add_argument("--resume", action="store_true",
+                      help="replay --journal from a crashed run of the same "
+                           "grid and execute only the remaining cells")
+    grid.add_argument("--max-cell-retries", type=int, default=2,
+                      help="transient cell-failure retries before the grid "
+                           "aborts (0 = strict fail-fast; default: 2)")
+    grid.add_argument("--secret", default=os.environ.get("REPRO_SECRET"),
+                      help="shared secret for coordinator/worker auth "
+                           "(default: the REPRO_SECRET environment variable)")
+    grid.add_argument("--table-out", metavar="PATH",
+                      help="also write the merged grid table as JSON "
+                           "(exact float round-trip; stable across resumes)")
     grid.add_argument("--n-hidden", type=int, default=64)
     grid.add_argument("--epochs", type=int, default=30)
     grid.add_argument("--batch-size", type=int, default=64)
@@ -601,6 +642,18 @@ def build_parser() -> argparse.ArgumentParser:
     fusion.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="max milliseconds a request may wait to be "
                              "coalesced (0 flushes immediately)")
+    overload = serve.add_argument_group("overload protection")
+    overload.add_argument("--max-in-flight", type=int, default=None,
+                          help="admission bound: concurrent /encode requests "
+                               "beyond this are answered 503 + Retry-After "
+                               "(default: unbounded)")
+    overload.add_argument("--retry-after", type=float, default=1.0,
+                          help="seconds advertised in the Retry-After header "
+                               "of shed requests (default: 1)")
+    serve.add_argument("--secret", default=os.environ.get("REPRO_SECRET"),
+                       help="require this X-Repro-Secret header on every "
+                            "route except /healthz (default: the "
+                            "REPRO_SECRET environment variable)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
     serve.set_defaults(func=_cmd_serve)
@@ -622,6 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: host-pid-random)")
     worker.add_argument("--poll-interval", type=float, default=0.05,
                         help="seconds between lease polls when idle")
+    worker.add_argument("--secret", default=os.environ.get("REPRO_SECRET"),
+                        help="shared secret for coordinator auth (default: "
+                             "the REPRO_SECRET environment variable)")
     worker.add_argument("--verbose", action="store_true",
                         help="log one line per cell")
     worker.set_defaults(func=_cmd_worker)

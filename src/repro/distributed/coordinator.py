@@ -16,18 +16,35 @@ Routes (all JSON; the plumbing is :mod:`repro.serving.wire`)
     ``{"stop": true}`` (grid finished, failed or draining — disconnect).
 ``POST /cell/result``      ``{worker_id, cell_id, outcome}`` →
     ``{"accepted": bool}`` (false: a duplicate of an already-merged cell).
-``POST /cell/error``       ``{worker_id, cell_id, error}`` →
-    records the remote failure; the grid aborts (deterministic errors would
-    fail on every retry).
+``POST /cell/error``       ``{worker_id, cell_id, kind, error}`` →
+    records the remote failure.  Transient failures (see
+    :func:`repro.resilience.classify_failure`) re-queue the cell with
+    backoff up to ``max_cell_retries``; deterministic ones — or transient
+    ones past the retry budget — abort the grid (they would fail on every
+    retry).
 ``POST /worker/heartbeat`` ``{worker_id}`` → renews the worker's leases.
 ``POST /worker/bye``       ``{worker_id}`` → releases its leases instantly.
-``GET  /dataset/<abbr>``   → the dataset matrix (workers cache it per grid).
+``GET  /dataset/<abbr>``   → the dataset matrix (workers cache it per grid,
+    verifying its sha256 digest before trusting the copy).
 ``GET  /status`` / ``GET /healthz`` → queue counters / liveness.
+
+Resilience:
+
+* a ``journal`` path arms the :class:`~repro.resilience.GridJournal`
+  write-ahead log — every accepted result is fsync'd before the worker sees
+  the acknowledgement, and ``resume=True`` replays a prior journal so a
+  coordinator killed mid-grid only re-runs the cells it had not yet merged;
+* a per-worker :class:`~repro.resilience.CircuitBreaker` quarantines hosts
+  that keep failing cells (``quarantine_after`` consecutive strikes): their
+  leases are released, further lease polls answer ``{"stop": true}`` and
+  ``/status`` lists them;
+* a non-empty ``secret`` requires the ``X-Repro-Secret`` header (constant
+  time compare, 401 on mismatch) on every route except ``/healthz``.
 
 Determinism: results are keyed by cell id and later read back in the
 *grid's* order, never in arrival order, and every float crosses the wire
 bit-exactly — so the merged table is identical to the sequential run no
-matter how cells interleave, expire or duplicate.
+matter how cells interleave, expire, retry or duplicate.
 """
 
 from __future__ import annotations
@@ -53,6 +70,13 @@ from repro.distributed.messages import (
 )
 from repro.distributed.queue import LeaseQueue
 from repro.exceptions import ValidationError
+from repro.resilience import (
+    CircuitBreaker,
+    GridJournal,
+    RetryPolicy,
+    classify_failure,
+    grid_fingerprint,
+)
 from repro.serving.wire import JsonRequestHandler, PayloadTooLargeError
 
 __all__ = ["GridCoordinator", "coordinator_signal_drain"]
@@ -67,9 +91,13 @@ class _CoordinatorRequestHandler(JsonRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
+            # Liveness stays unauthenticated: probes and load balancers
+            # should not need the secret to tell alive from dead.
             self.send_json(
                 200, {"status": "ok", "protocol": PROTOCOL_VERSION}
             )
+        elif not self.authorize():
+            return
         elif self.path == "/status":
             self.send_json(200, self.coordinator.describe())
         elif self.path.startswith("/dataset/"):
@@ -83,6 +111,8 @@ class _CoordinatorRequestHandler(JsonRequestHandler):
             self.send_error_json(404, f"unknown route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.authorize():
+            return
         route = self.coordinator.POST_ROUTES.get(self.path)
         if route is None:
             self.drain_body()
@@ -104,9 +134,16 @@ class _CoordinatorRequestHandler(JsonRequestHandler):
 class _CoordinatorHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, address, coordinator: "GridCoordinator", verbose: bool):
+    def __init__(
+        self,
+        address,
+        coordinator: "GridCoordinator",
+        verbose: bool,
+        secret: str | None = None,
+    ):
         self.coordinator = coordinator
         self.verbose = verbose
+        self.auth_secret = secret
         super().__init__(address, _CoordinatorRequestHandler)
 
 
@@ -129,6 +166,27 @@ class GridCoordinator:
         Seconds without a heartbeat before a worker's cells are re-queued.
     clock : callable
         Monotonic time source (injectable for tests).
+    journal : str, Path or GridJournal, optional
+        Arms the write-ahead journal: every accepted result is fsync'd to
+        this JSONL file before the worker's acknowledgement.  A path is
+        opened with the grid's fingerprint; a ready-made
+        :class:`~repro.resilience.GridJournal` is used as-is.
+    resume : bool, default False
+        Replay an existing journal before serving: replayed cells are
+        pre-completed (never re-leased) and their outcomes merged verbatim.
+        Requires ``journal``; refuses a journal whose fingerprint belongs
+        to a different grid.
+    max_cell_retries : int, default 2
+        Transient-failure retries per cell; 0 restores strict fail-fast.
+    retry_backoff : float, default 0.5
+        Base delay (doubled per failure) before a retried cell re-enters
+        the queue.
+    quarantine_after : int, default 3
+        Consecutive failures after which a worker is quarantined for the
+        rest of the grid.
+    secret : str, optional
+        Shared secret required (``X-Repro-Secret``) on every route except
+        ``/healthz``.
     """
 
     def __init__(
@@ -142,6 +200,12 @@ class GridCoordinator:
         lease_timeout: float = 30.0,
         clock=time.monotonic,
         verbose: bool = False,
+        journal=None,
+        resume: bool = False,
+        max_cell_retries: int = 2,
+        retry_backoff: float = 0.5,
+        quarantine_after: int = 3,
+        secret: str | None = None,
     ) -> None:
         if not cells:
             raise ValidationError("a grid needs at least one cell")
@@ -161,6 +225,12 @@ class GridCoordinator:
             clock=clock,
         )
         self.lease_timeout = float(lease_timeout)
+        self.retry_policy = RetryPolicy(
+            max_cell_retries, backoff_base=retry_backoff
+        )
+        self.breaker = CircuitBreaker(quarantine_after)
+        self.secret = str(secret) if secret else None
+        self._cell_failures: dict[str, int] = {}
         self._results: dict[str, dict] = {}
         self._results_lock = threading.Lock()
         self._workers: set[str] = set()
@@ -168,7 +238,32 @@ class GridCoordinator:
         self._draining = False
         self._done_event = threading.Event()
         self.verbose = verbose
-        self._server = _CoordinatorHTTPServer((host, port), self, verbose)
+        self.journal: GridJournal | None = None
+        self.n_replayed = 0
+        if journal is not None:
+            if isinstance(journal, GridJournal):
+                self.journal = journal
+            else:
+                self.journal = GridJournal(
+                    journal,
+                    fingerprint=grid_fingerprint(cells, settings, datasets),
+                    resume=resume,
+                )
+            # Replayed cells are merged up front and never leased again; a
+            # crash-resumed grid only runs the remainder.
+            for cell_id, outcome in self.journal.replayed.items():
+                if cell_id in self._cells and self.queue.complete(
+                    cell_id, "journal"
+                ):
+                    self._results[cell_id] = outcome
+                    self.n_replayed += 1
+        elif resume:
+            raise ValidationError("resume=True requires a journal path")
+        if self.queue.done:
+            self._done_event.set()
+        self._server = _CoordinatorHTTPServer(
+            (host, port), self, verbose, secret=self.secret
+        )
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------- lifecycle
@@ -193,12 +288,14 @@ class GridCoordinator:
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join its thread."""
+        """Shut the server down, close the journal, join the thread."""
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.journal is not None:
+            self.journal.close()
 
     def drain(self) -> None:
         """Stop handing out cells; workers disconnect at their next poll."""
@@ -232,6 +329,11 @@ class GridCoordinator:
         worker_id = str(request.get("worker_id") or "")
         if not worker_id:
             raise ValidationError("lease requires a worker_id")
+        if self.breaker.is_quarantined(worker_id):
+            # A quarantined host gets a clean stop instead of an error: its
+            # in-flight work was already released and the grid finishes on
+            # the healthy workers.
+            return {"stop": True, "quarantined": True}
         if self._draining or self._failure is not None or self.queue.done:
             return {"stop": True}
         cell_id = self.queue.lease(worker_id)
@@ -261,7 +363,14 @@ class GridCoordinator:
             )
         if cell_id not in self._cells:
             raise ValidationError(f"unknown cell id {cell_id!r}")
+        if self.journal is not None:
+            # Write-ahead: the fsync happens *before* the completion is
+            # recorded or acknowledged, so a coordinator killed right after
+            # this line still owns the result on resume.  (A journal-write
+            # failure turns into a 500; the worker retries the delivery.)
+            self.journal.record_result(cell_id, outcome)
         accepted = self.queue.complete(cell_id, worker_id)
+        self.breaker.record_success(worker_id)
         if accepted:
             with self._results_lock:
                 self._results[cell_id] = outcome
@@ -283,14 +392,62 @@ class GridCoordinator:
         worker_id = str(request.get("worker_id") or "?")
         cell_id = str(request.get("cell_id") or "?")
         error = str(request.get("error") or "unknown error")
-        # First failure wins; the grid aborts rather than retrying an
-        # error that would reproduce deterministically on every worker.
-        if self._failure is None:
-            self._failure = (
-                f"cell {cell_id!r} failed on worker {worker_id!r}: {error}"
+        kind = str(request.get("kind") or "")
+        transient = classify_failure(kind, error)
+        n_failures = self._cell_failures.get(cell_id, 0) + 1
+        self._cell_failures[cell_id] = n_failures
+        if self.journal is not None and cell_id in self._cells:
+            self.journal.record_error(
+                cell_id,
+                worker_id=worker_id,
+                kind=kind or "unknown",
+                transient=transient,
             )
-        self._done_event.set()
-        return {"ok": True}
+        if self.breaker.record_failure(worker_id):
+            released = self.queue.release(worker_id)
+            if self.verbose:  # pragma: no cover - cosmetic
+                print(
+                    f"[coordinator] worker {worker_id} quarantined after "
+                    f"{self.breaker.threshold} consecutive failures "
+                    f"({released} lease(s) re-queued)"
+                )
+        retried = False
+        if (
+            transient
+            and cell_id in self._cells
+            and self.retry_policy.allows(n_failures)
+        ):
+            # requeue() returning False means the cell already completed on
+            # another worker or is already queued for retry — either way
+            # the failure is absorbed, not fatal.
+            self.queue.requeue(
+                cell_id, delay=self.retry_policy.delay(n_failures)
+            )
+            retried = True
+            if self.verbose:  # pragma: no cover - cosmetic
+                print(
+                    f"[coordinator] {cell_id} failed transiently on "
+                    f"{worker_id} ({kind or 'unknown'}); retry "
+                    f"{n_failures}/{self.retry_policy.max_cell_retries}"
+                )
+        elif self._failure is None:
+            # Fail fast: a deterministic error (or a transient one past its
+            # retry budget) would reproduce on every worker.
+            reason = (
+                "transient, retries exhausted" if transient else "deterministic"
+            )
+            self._failure = (
+                f"cell {cell_id!r} failed on worker {worker_id!r} "
+                f"[{reason}]: {error}"
+            )
+            self._done_event.set()
+        return {
+            "ok": True,
+            "retried": retried,
+            "stop": (
+                self._draining or self._failure is not None or self.queue.done
+            ),
+        }
 
     def handle_heartbeat(self, request: dict) -> dict:
         worker_id = str(request.get("worker_id") or "")
@@ -337,6 +494,12 @@ class GridCoordinator:
             "draining": self._draining,
             "failed": self._failure is not None,
             "done": self.queue.done,
+            "quarantined_workers": self.breaker.quarantined,
+            "n_journal_replayed": self.n_replayed,
+            "journal": (
+                str(self.journal.path) if self.journal is not None else None
+            ),
+            "secret_required": self.secret is not None,
         }
 
     # ------------------------------------------------------------ collection

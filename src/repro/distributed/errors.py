@@ -16,6 +16,7 @@ __all__ = [
     "ProtocolError",
     "WorkerJoinError",
     "CellExecutionError",
+    "DatasetIntegrityError",
     "CoordinatorDrained",
 ]
 
@@ -34,11 +35,24 @@ class WorkerJoinError(DistributedError, ConnectionError):
 
 
 class CellExecutionError(DistributedError):
-    """A worker reported a (deterministic) failure while executing a cell.
+    """A worker reported a failure the retry policy will not absorb.
 
-    Worker *loss* is handled by lease expiry and re-queueing; an execution
-    error, by contrast, would fail identically on every retry, so the
-    coordinator aborts the grid and re-raises it with the remote traceback.
+    Worker *loss* is handled by lease expiry and re-queueing, and transient
+    failures (OOM, flaky sockets — see
+    :func:`repro.resilience.classify_failure`) are retried on another worker
+    up to the coordinator's ``max_cell_retries``.  A deterministic error, or
+    a transient one that exhausted its retries, would fail on every further
+    attempt, so the coordinator aborts the grid and re-raises it with the
+    remote traceback.
+    """
+
+
+class DatasetIntegrityError(DistributedError):
+    """A dataset fetched from the coordinator failed its sha256 digest check.
+
+    Classified *transient*: the corruption happened in transit or in the
+    worker's memory, not in the cell — re-fetching on a retry (possibly on
+    another worker) is expected to succeed.
     """
 
 

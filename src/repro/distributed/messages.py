@@ -13,12 +13,14 @@ from ``GET /dataset`` and cache it for the rest of the run.
 
 from __future__ import annotations
 
+import hashlib
+import traceback
 from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.base import Dataset
-from repro.distributed.errors import ProtocolError
+from repro.distributed.errors import DatasetIntegrityError, ProtocolError
 from repro.experiments.runner import _RepeatOutcome
 from repro.metrics.report import ClusteringReport
 
@@ -26,8 +28,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "check_protocol",
     "json_safe",
+    "dataset_digest",
     "dataset_to_wire",
     "dataset_from_wire",
+    "error_to_wire",
     "settings_to_wire",
     "settings_from_wire",
     "cell_to_wire",
@@ -65,21 +69,50 @@ def json_safe(value):
 
 
 # ------------------------------------------------------------------ datasets
+def dataset_digest(dataset: Dataset) -> str:
+    """Content digest of a dataset's numerical payload (sha256 hex).
+
+    Canonicalises dtypes the same way :func:`dataset_from_wire` does
+    (float data, int labels), so the digest a coordinator stamps on a
+    payload matches the digest a worker computes over the *rebuilt*
+    arrays — JSON's exact float round-trip makes the bytes identical.
+    """
+    data = np.ascontiguousarray(np.asarray(dataset.data, dtype=float))
+    labels = np.ascontiguousarray(np.asarray(dataset.labels, dtype=int))
+    hasher = hashlib.sha256()
+    for array in (data, labels):
+        hasher.update(str(array.dtype).encode("utf-8"))
+        hasher.update(str(array.shape).encode("utf-8"))
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
 def dataset_to_wire(dataset: Dataset) -> dict:
-    """JSON payload of a labelled dataset (exact float round-trip)."""
+    """JSON payload of a labelled dataset (exact float round-trip).
+
+    Carries a sha256 content digest so the receiving worker can prove the
+    matrix survived the transfer before caching it for the whole grid.
+    """
     return {
         "name": dataset.name,
         "abbreviation": dataset.abbreviation,
         "data": dataset.data.tolist(),
         "labels": dataset.labels.tolist(),
         "metadata": json_safe(dataset.metadata),
+        "digest": dataset_digest(dataset),
     }
 
 
 def dataset_from_wire(payload: dict) -> Dataset:
-    """Rebuild a :class:`Dataset` from :func:`dataset_to_wire` output."""
+    """Rebuild a :class:`Dataset` from :func:`dataset_to_wire` output.
+
+    When the payload carries a ``digest``, the rebuilt arrays are hashed
+    and compared; a mismatch raises :class:`DatasetIntegrityError` (a
+    *transient* failure — re-fetching is expected to succeed).  Payloads
+    without a digest are accepted for compatibility with older peers.
+    """
     try:
-        return Dataset(
+        dataset = Dataset(
             name=str(payload["name"]),
             abbreviation=str(payload["abbreviation"]),
             data=np.asarray(payload["data"], dtype=float),
@@ -88,6 +121,33 @@ def dataset_from_wire(payload: dict) -> Dataset:
         )
     except KeyError as exc:
         raise ProtocolError(f"dataset payload is missing field {exc}") from exc
+    expected = payload.get("digest")
+    if expected is not None:
+        actual = dataset_digest(dataset)
+        if actual != str(expected):
+            raise DatasetIntegrityError(
+                f"dataset {dataset.abbreviation!r} failed its integrity "
+                f"check: digest {actual} != advertised {expected} "
+                f"(corrupted in transit; re-fetch)"
+            )
+    return dataset
+
+
+# -------------------------------------------------------------------- errors
+def error_to_wire(cell_id: str, worker_id: str, exc: BaseException) -> dict:
+    """Failure report of one cell, carrying what the retry policy needs.
+
+    ``kind`` (the exception class name) is what
+    :func:`repro.resilience.classify_failure` keys on; the traceback rides
+    along so a fail-fast abort can show the remote stack.
+    """
+    return {
+        "cell_id": str(cell_id),
+        "worker_id": str(worker_id),
+        "kind": type(exc).__name__,
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(),
+    }
 
 
 # ------------------------------------------------------------------ settings

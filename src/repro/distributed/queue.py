@@ -11,7 +11,11 @@
   worker), the second completion is acknowledged but discarded — exactly
   one result per cell reaches the table;
 * a worker can say goodbye, releasing its leases immediately instead of
-  waiting out the timeout.
+  waiting out the timeout;
+* a failed cell can be *re-queued with a delay* (:meth:`LeaseQueue.requeue`)
+  — the retry-with-backoff path for transient failures: the cell sits in a
+  delay pen until its ready time passes, then rejoins the front of the
+  pending queue.
 
 The clock is injectable so the expiry logic is testable deterministically
 (fake-clock tests advance time explicitly); all entry points take one lock,
@@ -73,10 +77,14 @@ class LeaseQueue:
         self._clock = clock
         self._leases: dict[str, CellLease] = {}  # keyed by cell_id
         self._completed: set[str] = set()
+        #: cell_id -> monotonic time before which it must not be leased
+        #: (the backoff pen of retried cells), insertion-ordered.
+        self._delayed: dict[str, float] = {}
         self._lock = threading.Lock()
         self.n_requeued = 0
         self.n_duplicates = 0
         self.n_expired_leases = 0
+        self.n_retried = 0
 
     # ------------------------------------------------------------- internals
     def _expire_overdue_locked(self) -> list[str]:
@@ -97,11 +105,28 @@ class LeaseQueue:
             self.n_requeued += 1
         return expired
 
+    def _promote_ready_locked(self) -> None:
+        """Move delayed cells whose backoff has elapsed into pending."""
+        if not self._delayed:
+            return
+        now = self._clock()
+        ready = [
+            cell_id
+            for cell_id, ready_at in self._delayed.items()
+            if ready_at <= now
+        ]
+        # Front of the queue, preserving insertion order — the same recover-
+        # oldest-work-first rule as lease expiry.
+        for cell_id in reversed(ready):
+            del self._delayed[cell_id]
+            self._pending.appendleft(cell_id)
+
     # ------------------------------------------------------------------- API
     def lease(self, worker_id: str) -> str | None:
         """Hand the next pending cell to ``worker_id`` (None when empty)."""
         with self._lock:
             self._expire_overdue_locked()
+            self._promote_ready_locked()
             if not self._pending:
                 return None
             cell_id = self._pending.popleft()
@@ -143,12 +168,39 @@ class LeaseQueue:
                 return False
             self._completed.add(cell_id)
             self._leases.pop(cell_id, None)
+            self._delayed.pop(cell_id, None)
             # The cell may sit in pending after an expiry; a completed cell
             # must never be dispatched again.
             try:
                 self._pending.remove(cell_id)
             except ValueError:
                 pass
+            return True
+
+    def requeue(self, cell_id: str, *, delay: float = 0.0) -> bool:
+        """Return a failed cell to the queue after ``delay`` seconds.
+
+        The retry path for transient failures: the cell's lease (if any) is
+        dropped and the cell parks in the delay pen until ``delay`` elapses,
+        then rejoins the *front* of the pending queue.  Returns False (and
+        does nothing) when the cell already completed elsewhere — a stale
+        failure report must not resurrect finished work.
+        """
+        cell_id = str(cell_id)
+        with self._lock:
+            if cell_id not in self._known:
+                raise KeyError(f"unknown cell id {cell_id!r}")
+            if cell_id in self._completed:
+                return False
+            self._leases.pop(cell_id, None)
+            if cell_id in self._pending or cell_id in self._delayed:
+                return False  # already on its way back
+            if delay > 0:
+                self._delayed[cell_id] = self._clock() + float(delay)
+            else:
+                self._pending.appendleft(cell_id)
+            self.n_requeued += 1
+            self.n_retried += 1
             return True
 
     def release(self, worker_id: str) -> int:
@@ -182,6 +234,11 @@ class LeaseQueue:
             return len(self._pending)
 
     @property
+    def n_delayed(self) -> int:
+        with self._lock:
+            return len(self._delayed)
+
+    @property
     def n_leased(self) -> int:
         with self._lock:
             return len(self._leases)
@@ -203,8 +260,10 @@ class LeaseQueue:
                 "n_cells": len(self._known),
                 "n_pending": len(self._pending),
                 "n_leased": len(self._leases),
+                "n_delayed": len(self._delayed),
                 "n_completed": len(self._completed),
                 "n_requeued": self.n_requeued,
                 "n_duplicates": self.n_duplicates,
                 "n_expired_leases": self.n_expired_leases,
+                "n_retried": self.n_retried,
             }

@@ -31,7 +31,6 @@ import subprocess
 import sys
 import threading
 import time
-import traceback
 import urllib.parse
 import uuid
 from http.server import ThreadingHTTPServer
@@ -42,6 +41,7 @@ from repro.distributed.messages import (
     cell_from_wire,
     check_protocol,
     dataset_from_wire,
+    error_to_wire,
     outcome_to_wire,
     settings_from_wire,
 )
@@ -91,6 +91,9 @@ class WorkerClient:
     max_consecutive_failures : int
         Give up (raise :class:`DistributedError`) after this many failed
         exchanges in a row — the coordinator is gone, not busy.
+    secret : str, optional
+        Shared secret sent in the ``X-Repro-Secret`` header on every
+        exchange (required by coordinators started with one).
     """
 
     def __init__(
@@ -104,6 +107,7 @@ class WorkerClient:
         backoff_cap: float = 5.0,
         max_consecutive_failures: int = 12,
         verbose: bool = False,
+        secret: str | None = None,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -113,6 +117,7 @@ class WorkerClient:
         self.backoff_cap = float(backoff_cap)
         self.max_consecutive_failures = int(max_consecutive_failures)
         self.verbose = verbose
+        self.secret = str(secret) if secret else None
         self._stop = threading.Event()
         self._failures = 0
         self._settings: dict | None = None
@@ -132,34 +137,56 @@ class WorkerClient:
             print(f"[worker {self.worker_id}] {message}", flush=True)
 
     def _exchange(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One request with capped exponential backoff on transport errors."""
+        """One request with capped exponential backoff on transport errors.
+
+        HTTP 5xx responses retry through the same backoff as transport
+        failures: a coordinator mid-restart (or a flaky proxy in between)
+        answers 500s briefly, and giving up on the first one would turn a
+        transient blip into a lost worker.  4xx responses stay fatal — the
+        coordinator understood the request and refused it.
+        """
         while True:
+            failure: str | None = None
             try:
                 status, body = request_json(
-                    self.host, self.port, method, path, payload, timeout=30.0
+                    self.host,
+                    self.port,
+                    method,
+                    path,
+                    payload,
+                    timeout=30.0,
+                    secret=self.secret,
                 )
             except WireError as exc:
-                self._failures += 1
-                if self._failures >= self.max_consecutive_failures:
+                failure = str(exc)
+            else:
+                if status == 401:
                     raise DistributedError(
-                        f"coordinator {self.host}:{self.port} unreachable "
-                        f"after {self._failures} attempts: {exc}"
-                    ) from exc
-                delay = min(
-                    self.backoff_cap,
-                    self.backoff_base * (2 ** (self._failures - 1)),
-                )
-                self._log(f"transport error ({exc}); retrying in {delay:.2f}s")
-                if self._stop.wait(delay):
-                    raise DistributedError("worker stopped during reconnect") from exc
-                continue
-            self._failures = 0
-            if status != 200:
+                        f"coordinator {self.host}:{self.port} rejected the "
+                        f"shared secret (401): {body.get('error', body)}"
+                    )
+                if status < 500:
+                    if status != 200:
+                        raise DistributedError(
+                            f"coordinator rejected {method} {path}: "
+                            f"{status} {body.get('error', body)}"
+                        )
+                    self._failures = 0
+                    return body
+                failure = f"HTTP {status} {body.get('error', body)}"
+            self._failures += 1
+            if self._failures >= self.max_consecutive_failures:
                 raise DistributedError(
-                    f"coordinator rejected {method} {path}: "
-                    f"{status} {body.get('error', body)}"
+                    f"coordinator {self.host}:{self.port} unreachable "
+                    f"after {self._failures} attempts: {failure}"
                 )
-            return body
+            delay = min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (self._failures - 1)),
+            )
+            self._log(f"transport error ({failure}); retrying in {delay:.2f}s")
+            if self._stop.wait(delay):
+                raise DistributedError("worker stopped during reconnect")
 
     # ------------------------------------------------------------- heartbeat
     def _heartbeat_loop(self) -> None:
@@ -172,11 +199,15 @@ class WorkerClient:
                     "/worker/heartbeat",
                     {"worker_id": self.worker_id},
                     timeout=10.0,
+                    secret=self.secret,
                 )
-            except WireError:
+            except Exception as exc:  # noqa: BLE001 - thread must survive
                 # The pull loop owns reconnect policy; a missed heartbeat
-                # just shortens the lease margin.
-                pass
+                # just shortens the lease margin.  Catching *everything*
+                # (not only WireError) keeps the thread alive — a dead
+                # heartbeat thread silently expires every lease the worker
+                # holds while it keeps computing, wasting whole cells.
+                self._log(f"heartbeat failed ({type(exc).__name__}: {exc})")
 
     # -------------------------------------------------------------- datasets
     def _dataset(self, ref: str):
@@ -197,8 +228,12 @@ class WorkerClient:
         said to stop (this result completed or aborted the grid)."""
         from repro.experiments.runner import _run_repeat
 
-        dataset = self._dataset(cell["dataset_ref"])
         try:
+            # The dataset fetch sits *inside* the try: a transfer that fails
+            # its integrity digest (or an OSError mid-download) must reach
+            # the coordinator as a classified cell error so the retry policy
+            # can re-run the cell elsewhere, not kill the worker.
+            dataset = self._dataset(cell["dataset_ref"])
             outcome = _run_repeat(
                 dataset,
                 cell["algorithm"],
@@ -210,17 +245,14 @@ class WorkerClient:
         except Exception as exc:  # noqa: BLE001 - reported to the coordinator
             self.n_cells_failed += 1
             self._log(f"cell {cell['cell_id']} failed: {exc}")
-            self._exchange(
+            response = self._exchange(
                 "POST",
                 "/cell/error",
-                {
-                    "worker_id": self.worker_id,
-                    "cell_id": cell["cell_id"],
-                    "error": f"{type(exc).__name__}: {exc}\n"
-                             f"{traceback.format_exc()}",
-                },
+                error_to_wire(cell["cell_id"], self.worker_id, exc),
             )
-            return True
+            # A transient failure keeps the worker in the grid (the cell
+            # retries, possibly here); only an aborting coordinator stops it.
+            return bool(response.get("stop", True))
         response = self._exchange(
             "POST",
             "/cell/result",
@@ -287,6 +319,7 @@ class WorkerClient:
                     "/worker/bye",
                     {"worker_id": self.worker_id},
                     timeout=5.0,
+                    secret=self.secret,
                 )
             except WireError:
                 pass  # leases expire on their own
@@ -342,18 +375,22 @@ def spawn_loopback_workers(
     *,
     poll_interval: float = 0.05,
     verbose: bool = False,
+    secret: str | None = None,
 ) -> LoopbackWorkerPool:
     """Start ``n_workers`` local ``python -m repro worker`` subprocesses.
 
     The child inherits the parent's import path (``PYTHONPATH`` is extended
     with the live ``sys.path``), so the stack is testable from a source
-    checkout without installation.
+    checkout without installation.  ``secret`` travels via the
+    ``REPRO_SECRET`` environment variable, not argv (``ps`` would show it).
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [path for path in sys.path if path] +
         [path for path in env.get("PYTHONPATH", "").split(os.pathsep) if path]
     )
+    if secret:
+        env["REPRO_SECRET"] = str(secret)
     command = [
         sys.executable, "-m", "repro", "worker",
         "--connect", coordinator_address,
@@ -374,7 +411,11 @@ def spawn_loopback_workers(
 
 
 def dial_standby_workers(
-    addresses: list[str], coordinator_address: str, *, timeout: float = 10.0
+    addresses: list[str],
+    coordinator_address: str,
+    *,
+    timeout: float = 10.0,
+    secret: str | None = None,
 ) -> None:
     """Tell each standby worker (``--listen``) to join a coordinator.
 
@@ -382,6 +423,8 @@ def dial_standby_workers(
     moment (it clears its busy flag right after saying goodbye to the old
     coordinator), so busy/unreachable workers are retried with backoff for
     up to ``timeout`` seconds before :class:`WorkerJoinError` is raised.
+    ``secret`` authenticates the join against a worker started with one
+    (the worker then uses its own secret toward the coordinator).
     """
     for address in addresses:
         host, port = parse_address(address)
@@ -400,6 +443,7 @@ def dial_standby_workers(
                         "coordinator": coordinator_address,
                     },
                     timeout=timeout,
+                    secret=secret,
                 )
             except WireError as exc:
                 failure = f"standby worker {address} is unreachable: {exc}"
@@ -434,6 +478,8 @@ class _StandbyRequestHandler(JsonRequestHandler):
             self.send_error_json(404, f"unknown route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.authorize():
+            return
         if self.path != "/join":
             self.drain_body()
             self.send_error_json(404, f"unknown route {self.path!r}")
@@ -458,16 +504,17 @@ class _StandbyRequestHandler(JsonRequestHandler):
 class _StandbyServer(ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, address) -> None:
+    def __init__(self, address, secret: str | None = None) -> None:
         self.join_event = threading.Event()
         self.busy = threading.Event()
         self.pending_coordinator: tuple[str, int] | None = None
         self.verbose = False
+        self.auth_secret = secret
         super().__init__(address, _StandbyRequestHandler)
 
 
 def _run_standby(args: argparse.Namespace) -> int:
-    server = _StandbyServer((args.host, args.listen))
+    server = _StandbyServer((args.host, args.listen), secret=args.secret)
     server.verbose = args.verbose
     thread = threading.Thread(
         target=server.serve_forever, name="repro-worker-standby", daemon=True
@@ -492,6 +539,7 @@ def _run_standby(args: argparse.Namespace) -> int:
                 worker_id=args.worker_id,
                 poll_interval=args.poll_interval,
                 verbose=args.verbose,
+                secret=args.secret,
             )
             _current_client["client"] = client
             try:
@@ -555,6 +603,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stable worker identity (default: host-pid-random)")
     parser.add_argument("--poll-interval", type=float, default=0.05,
                         help="seconds between lease polls when idle")
+    parser.add_argument("--secret", default=os.environ.get("REPRO_SECRET"),
+                        help="shared secret for coordinator auth (default: "
+                             "the REPRO_SECRET environment variable)")
     parser.add_argument("--verbose", action="store_true",
                         help="log one line per cell")
     return parser
@@ -572,6 +623,7 @@ def main(argv: list[str] | None = None) -> int:
         worker_id=args.worker_id,
         poll_interval=args.poll_interval,
         verbose=args.verbose,
+        secret=args.secret,
     )
     _current_client["client"] = client
     _install_stop_signals()

@@ -429,6 +429,24 @@ class ExperimentRunner:
     coordinator_host : str, default "127.0.0.1"
         Distributed mode only: bind/advertise address of the coordinator;
         use a routable address when dialing remote standby workers.
+    journal : str or Path, optional
+        Distributed mode only: write-ahead journal file.  Every accepted
+        cell result is fsync'd there before the worker's acknowledgement,
+        so a coordinator killed mid-grid loses nothing it acknowledged.
+    resume : bool, default False
+        Distributed mode only: replay ``journal`` from a previous
+        (crashed) run of the *same* grid — replayed cells are merged
+        verbatim and only the remainder re-runs.  Refused when the journal
+        belongs to a different grid (fingerprint mismatch).
+    max_cell_retries : int, default 2
+        Distributed mode only: transient-failure retries per cell before
+        the grid aborts; 0 restores strict fail-fast.
+    quarantine_after : int, default 3
+        Distributed mode only: consecutive failures after which a worker
+        is quarantined for the rest of the grid.
+    secret : str, optional
+        Distributed mode only: shared secret for coordinator/worker auth
+        (the ``X-Repro-Secret`` header).
 
     Attributes
     ----------
@@ -442,6 +460,13 @@ class ExperimentRunner:
     n_duplicate_results : int
         Distributed runs: completions discarded by the idempotent merge
         (a re-queued cell that finished twice).
+    n_retried_cells : int
+        Distributed runs: transient cell failures absorbed by a retry.
+    n_journal_replayed : int
+        Distributed runs: cells merged from the journal instead of
+        re-executing (``resume=True``).
+    quarantined_workers : list of str
+        Distributed runs: workers quarantined by the circuit breaker.
     """
 
     def __init__(
@@ -459,6 +484,11 @@ class ExperimentRunner:
         workers: int | list[str] | tuple[str, ...] | None = None,
         lease_timeout: float = 30.0,
         coordinator_host: str = "127.0.0.1",
+        journal: str | Path | None = None,
+        resume: bool = False,
+        max_cell_retries: int = 2,
+        quarantine_after: int = 3,
+        secret: str | None = None,
     ) -> None:
         if not algorithm_names:
             raise ValidationError("algorithm_names must not be empty")
@@ -485,11 +515,27 @@ class ExperimentRunner:
             raise ValidationError("lease_timeout must be positive")
         self.lease_timeout = float(lease_timeout)
         self.coordinator_host = str(coordinator_host)
+        self.journal = Path(journal) if journal is not None else None
+        self.resume = bool(resume)
+        if self.resume and self.journal is None:
+            raise ValidationError("resume=True requires a journal path")
+        if max_cell_retries < 0:
+            raise ValidationError(
+                f"max_cell_retries must be >= 0, got {max_cell_retries}"
+            )
+        self.max_cell_retries = int(max_cell_retries)
+        self.quarantine_after = check_positive_int(
+            quarantine_after, name="quarantine_after"
+        )
+        self.secret = str(secret) if secret else None
         self._supervision_cache: dict[tuple, object] = {}
         self.n_artifact_hits = 0
         self.n_supervision_hits = 0
         self.n_requeued_cells = 0
         self.n_duplicate_results = 0
+        self.n_retried_cells = 0
+        self.n_journal_replayed = 0
+        self.quarantined_workers: list[str] = []
 
     @staticmethod
     def _check_workers(workers):
@@ -595,12 +641,19 @@ class ExperimentRunner:
             settings,
             host=self.coordinator_host,
             lease_timeout=self.lease_timeout,
+            journal=self.journal,
+            resume=self.resume,
+            max_cell_retries=self.max_cell_retries,
+            quarantine_after=self.quarantine_after,
+            secret=self.secret,
         ).start()
         pool = None
         try:
             if isinstance(self.workers, int):
                 pool = spawn_loopback_workers(
-                    self.workers, coordinator.address_string
+                    self.workers,
+                    coordinator.address_string,
+                    secret=self.secret,
                 )
 
                 def watchdog() -> None:
@@ -611,7 +664,11 @@ class ExperimentRunner:
                         )
 
             else:
-                dial_standby_workers(self.workers, coordinator.address_string)
+                dial_standby_workers(
+                    self.workers,
+                    coordinator.address_string,
+                    secret=self.secret,
+                )
                 watchdog = None
             with coordinator_signal_drain(coordinator):
                 raw = coordinator.wait(poll=0.05, watchdog=watchdog)
@@ -622,6 +679,11 @@ class ExperimentRunner:
             counters = coordinator.queue.counters()
             self.n_requeued_cells += counters["n_requeued"]
             self.n_duplicate_results += counters["n_duplicates"]
+            self.n_retried_cells += counters["n_retried"]
+            self.n_journal_replayed += coordinator.n_replayed
+            for worker_id in coordinator.breaker.quarantined:
+                if worker_id not in self.quarantined_workers:
+                    self.quarantined_workers.append(worker_id)
 
         outcomes = {
             cell_id: outcome_from_wire(payload)

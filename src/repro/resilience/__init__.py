@@ -1,0 +1,40 @@
+"""Resilience layer: crash recovery, failure policy and fault injection.
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.resilience.journal` — :class:`GridJournal`, an append-only
+  JSONL write-ahead journal of completed grid cells.  A coordinator given a
+  journal survives its own death: a restarted run replays the journal and
+  re-queues only the cells that never landed;
+* :mod:`repro.resilience.policy` — :func:`classify_failure` (transient vs
+  deterministic worker errors), :class:`RetryPolicy` (bounded retries with
+  exponential backoff) and :class:`CircuitBreaker` (per-worker quarantine
+  after consecutive failures);
+* :mod:`repro.resilience.faults` — :class:`FaultProxy`, a stdlib TCP relay
+  that injects latency, connection resets, dropped/duplicated requests and
+  HTTP 500s from a deterministic seeded schedule, so the recovery paths
+  above are *provable* in CI rather than assumed.
+"""
+
+from repro.resilience.faults import FaultDecision, FaultProxy, FaultSchedule, ScriptedSchedule
+from repro.resilience.journal import GridJournal, JournalError, grid_fingerprint
+from repro.resilience.policy import (
+    TRANSIENT_ERROR_KINDS,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_failure,
+)
+
+__all__ = [
+    "GridJournal",
+    "JournalError",
+    "grid_fingerprint",
+    "classify_failure",
+    "TRANSIENT_ERROR_KINDS",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultProxy",
+    "FaultSchedule",
+    "ScriptedSchedule",
+    "FaultDecision",
+]

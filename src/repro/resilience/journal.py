@@ -1,0 +1,237 @@
+"""Crash-safe grid journal: an append-only JSONL write-ahead log.
+
+The distributed coordinator is the single point of total loss of a grid —
+workers are expendable (lease expiry re-queues their cells), but a dead
+coordinator used to forfeit every completed cell.  :class:`GridJournal`
+closes that hole with the classic write-ahead discipline:
+
+* the first line is a **header** carrying a fingerprint of the grid (cell
+  descriptors, runner settings and the content digests of every dataset), so
+  a journal can never be replayed into a *different* grid;
+* every accepted cell result is appended as one JSON line and **fsync'd**
+  before the acknowledgement reaches the worker — once a worker has been
+  told "accepted", the result survives a coordinator SIGKILL;
+* worker-reported failures are journalled too (``type: "error"``) for the
+  post-mortem, but replay skips them — a failed cell must re-execute.
+
+Replay is **torn-tail tolerant**: a crash can leave the final line
+half-written (JSONL appends are not atomic), so replay stops at the first
+undecodable line instead of refusing the whole journal.  Every line *before*
+the tear was fsync'd in order, so nothing else can be damaged.
+
+Why JSONL and not a binary WAL: the payloads are the exact wire outcomes
+(shortest-repr JSON floats), so a replayed cell is bit-identical to the one
+the worker computed — the merged table after a crash+resume matches the
+sequential run to the last bit.  A human can also read the journal with
+``head`` when a grid went wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = ["JournalError", "GridJournal", "grid_fingerprint"]
+
+#: Bumped on any incompatible journal layout change.
+JOURNAL_VERSION = 1
+
+
+class JournalError(ReproError):
+    """The journal cannot be used: fingerprint mismatch, a corrupt header,
+    or an attempt to resume from a journal that does not exist."""
+
+
+def grid_fingerprint(cells: list[dict], settings: dict, datasets: dict | None = None) -> str:
+    """Deterministic identity of a grid: cells + settings + dataset digests.
+
+    Two runs share a fingerprint iff replaying one's journal into the other
+    is safe: same cell descriptors in the same order, same runner settings
+    (``artifact_dir`` excluded — it is a warm-start cache hint that does not
+    affect results), and bitwise-identical dataset matrices.  ``datasets``
+    maps ``abbreviation -> Dataset``; pass None to fingerprint cells and
+    settings only.
+    """
+    payload = {
+        "cells": cells,
+        "settings": {
+            key: value for key, value in settings.items() if key != "artifact_dir"
+        },
+    }
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    )
+    if datasets:
+        from repro.distributed.messages import dataset_digest
+
+        for name in sorted(datasets):
+            digest.update(name.encode("utf-8"))
+            digest.update(dataset_digest(datasets[name]).encode("ascii"))
+    return digest.hexdigest()
+
+
+class GridJournal:
+    """Append-only JSONL journal of one grid's completed (and failed) cells.
+
+    Parameters
+    ----------
+    path : str or Path
+        Journal file; parent directories are created.
+    fingerprint : str
+        The grid's :func:`grid_fingerprint`.  A fresh journal writes it into
+        the header; a resumed journal refuses to replay when it differs.
+    resume : bool, default False
+        ``True`` replays an existing journal (the file must exist) and
+        appends to it; ``False`` truncates and starts a new journal.
+
+    Replayed outcomes are available as :attr:`replayed` (``cell_id ->
+    outcome`` wire payloads).  All writes are serialised by an internal
+    lock — the coordinator's handler threads record results concurrently.
+    """
+
+    def __init__(
+        self, path: str | Path, *, fingerprint: str, resume: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = str(fingerprint)
+        self.replayed: dict[str, dict] = {}
+        self.n_torn_lines = 0
+        self._lock = threading.Lock()
+        self._file = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume:
+            if not self.path.is_file():
+                raise JournalError(
+                    f"cannot resume: journal {self.path} does not exist"
+                )
+            self.replayed = self._replay()
+            self._file = open(self.path, "a", encoding="utf-8")
+        else:
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._append(
+                {
+                    "type": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    # ------------------------------------------------------------------ write
+    def _append(self, record: dict) -> None:
+        """One fsync'd JSON line (caller does not hold the lock)."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._file is None:
+                raise JournalError(f"journal {self.path} is closed")
+            self._file.write(line)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def record_result(self, cell_id: str, outcome: dict) -> None:
+        """Journal an accepted cell result (fsync'd before returning).
+
+        Called *before* the worker's completion is acknowledged, so an
+        acknowledged cell is always recoverable.
+        """
+        self._append(
+            {"type": "cell", "cell_id": str(cell_id), "outcome": outcome}
+        )
+
+    def record_error(
+        self, cell_id: str, *, worker_id: str, kind: str, transient: bool
+    ) -> None:
+        """Journal a worker-reported failure (skipped on replay)."""
+        self._append(
+            {
+                "type": "error",
+                "cell_id": str(cell_id),
+                "worker_id": str(worker_id),
+                "kind": str(kind),
+                "transient": bool(transient),
+            }
+        )
+
+    # ----------------------------------------------------------------- replay
+    def _replay(self) -> dict[str, dict]:
+        """Parse the journal: header check, then the completed cells.
+
+        Tolerates a torn final line (the crash may have interrupted an
+        append mid-line); every earlier line was fsync'd before any later
+        one, so the first undecodable line marks the end of trustworthy
+        history.
+        """
+        outcomes: dict[str, dict] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path} has an undecodable header: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise JournalError(
+                f"journal {self.path} does not start with a header record"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {self.path} is version {header.get('version')!r}; "
+                f"this build reads version {JOURNAL_VERSION}"
+            )
+        found = header.get("fingerprint")
+        if found != self.fingerprint:
+            raise JournalError(
+                f"journal {self.path} belongs to a different grid "
+                f"(fingerprint {str(found)[:12]}..., expected "
+                f"{self.fingerprint[:12]}...); refusing to merge foreign "
+                "results — delete the journal or drop --resume"
+            )
+        for index, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail: the crash interrupted this append.  Everything
+                # before it is intact (fsync ordering), so stop here.
+                self.n_torn_lines = len(lines) - index + 1
+                break
+            if not isinstance(record, dict):
+                self.n_torn_lines = len(lines) - index + 1
+                break
+            if record.get("type") == "cell":
+                outcome = record.get("outcome")
+                cell_id = record.get("cell_id")
+                if isinstance(outcome, dict) and cell_id:
+                    # Last write wins (a duplicate can only carry the
+                    # identical payload — completions are idempotent).
+                    outcomes[str(cell_id)] = outcome
+            # "error" and unknown record types are post-mortem data only.
+        return outcomes
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "GridJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GridJournal(path={str(self.path)!r}, "
+            f"replayed={len(self.replayed)})"
+        )

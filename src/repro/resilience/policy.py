@@ -1,0 +1,192 @@
+"""Failure policy: transient-vs-deterministic classification, retries and
+per-worker quarantine.
+
+The coordinator used to abort the whole grid on the *first* worker-reported
+error.  That is the right call for deterministic failures — a bug in a cell
+reproduces on every worker, so retrying burns the cluster for nothing — but
+wrong for transient ones: an OOM kill, a flaky socket or a worker dying
+mid-cell say nothing about the cell itself.  This module is the policy that
+tells them apart and bounds the recovery:
+
+* :func:`classify_failure` — transient or deterministic, from the
+  exception's class name (reported over the wire) plus message heuristics;
+* :class:`RetryPolicy` — how often a transient cell may be retried and with
+  how much backoff between attempts;
+* :class:`CircuitBreaker` — a worker that keeps failing cells *other
+  workers then complete fine* is a bad host (broken BLAS, half the RAM,
+  overheating), not bad luck; after ``threshold`` consecutive failures it is
+  quarantined and no longer leased to, instead of churning the queue
+  forever.
+
+Everything here is deterministic and clock-injectable, so the retry state
+machine is testable without real time or real failures.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "TRANSIENT_ERROR_KINDS",
+    "classify_failure",
+    "RetryPolicy",
+    "CircuitBreaker",
+]
+
+#: Exception class names treated as transient when a worker reports them.
+#: MemoryError: the cell may simply have landed next to a fat neighbour;
+#: OSError and subclasses: sockets, disks and pipes fail independently of
+#: the cell's math; TimeoutError likewise; WireError / DatasetIntegrityError
+#: are this codebase's own transport/corruption failures.
+TRANSIENT_ERROR_KINDS = frozenset(
+    {
+        "MemoryError",
+        "OSError",
+        "IOError",
+        "TimeoutError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "ConnectionAbortedError",
+        "BrokenPipeError",
+        "InterruptedError",
+        "WireError",
+        "DatasetIntegrityError",
+    }
+)
+
+#: Message fragments that mark an error transient regardless of its kind
+#: (third-party libraries often wrap OS-level failures in their own types).
+_TRANSIENT_MESSAGE_MARKERS = (
+    "timed out",
+    "timeout",
+    "connection reset",
+    "connection refused",
+    "broken pipe",
+    "temporarily unavailable",
+    "out of memory",
+)
+
+
+def classify_failure(kind: str | None, message: str = "") -> bool:
+    """``True`` when a worker-reported failure is worth retrying elsewhere.
+
+    ``kind`` is the remote exception's class name (``type(exc).__name__``
+    as sent by the worker); ``message`` is its rendered text.  Unknown kinds
+    default to **deterministic** — the safe direction: a mis-classified
+    deterministic error would be retried ``max_cell_retries`` times and
+    still abort the grid, but the old fail-fast contract must not silently
+    swallow real bugs behind retries.
+    """
+    if kind and str(kind) in TRANSIENT_ERROR_KINDS:
+        return True
+    lowered = str(message).lower()
+    return any(marker in lowered for marker in _TRANSIENT_MESSAGE_MARKERS)
+
+
+class RetryPolicy:
+    """Bounded retry schedule for transient cell failures.
+
+    Parameters
+    ----------
+    max_cell_retries : int, default 2
+        Retries *per cell* after its first failure; attempt ``k`` (0-based
+        failure count) is allowed while ``k < max_cell_retries``.  0 turns
+        retries off — every failure aborts, the pre-resilience behaviour.
+    backoff_base : float, default 0.5
+        Delay before the first retry, doubled per subsequent failure.
+    backoff_cap : float, default 30.0
+        Upper bound on any single delay.
+    """
+
+    def __init__(
+        self,
+        max_cell_retries: int = 2,
+        *,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+    ) -> None:
+        if max_cell_retries < 0:
+            raise ValidationError(
+                f"max_cell_retries must be >= 0, got {max_cell_retries}"
+            )
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValidationError("backoff_base and backoff_cap must be >= 0")
+        self.max_cell_retries = int(max_cell_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+
+    def allows(self, n_failures: int) -> bool:
+        """Whether a cell that failed ``n_failures`` times may retry."""
+        return n_failures <= self.max_cell_retries
+
+    def delay(self, n_failures: int) -> float:
+        """Backoff before the retry following the ``n_failures``-th failure."""
+        if n_failures <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** (n_failures - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_cell_retries={self.max_cell_retries}, "
+            f"backoff_base={self.backoff_base}, backoff_cap={self.backoff_cap})"
+        )
+
+
+class CircuitBreaker:
+    """Per-worker consecutive-failure counter with quarantine.
+
+    A worker accumulates one strike per failed cell and resets to zero on
+    any success; at ``threshold`` strikes it trips into quarantine and stays
+    there for the rest of the grid (workers are cheap — restarting one gives
+    it a fresh identity and a clean slate).  Thread-safe: the coordinator's
+    handler threads record outcomes concurrently.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        self.threshold = check_positive_int(threshold, name="threshold")
+        self._strikes: dict[str, int] = {}
+        self._quarantined: set[str] = set()
+        self._lock = threading.Lock()
+
+    def record_failure(self, worker_id: str) -> bool:
+        """One strike against ``worker_id``; returns True when it *newly*
+        trips into quarantine."""
+        worker_id = str(worker_id)
+        with self._lock:
+            if worker_id in self._quarantined:
+                return False
+            strikes = self._strikes.get(worker_id, 0) + 1
+            self._strikes[worker_id] = strikes
+            if strikes >= self.threshold:
+                self._quarantined.add(worker_id)
+                return True
+            return False
+
+    def record_success(self, worker_id: str) -> None:
+        """A completed cell clears the worker's strike count."""
+        with self._lock:
+            self._strikes.pop(str(worker_id), None)
+
+    def is_quarantined(self, worker_id: str) -> bool:
+        with self._lock:
+            return str(worker_id) in self._quarantined
+
+    @property
+    def quarantined(self) -> list[str]:
+        """Sorted ids of every quarantined worker."""
+        with self._lock:
+            return sorted(self._quarantined)
+
+    def strikes(self, worker_id: str) -> int:
+        with self._lock:
+            return self._strikes.get(str(worker_id), 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"quarantined={self.quarantined})"
+        )

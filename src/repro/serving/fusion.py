@@ -313,7 +313,13 @@ class BatchFuser:
         return len(tickets)
 
     # --------------------------------------------------------------- serving
-    def wait_for(self, name: str, ticket: FusionTicket) -> np.ndarray:
+    def wait_for(
+        self,
+        name: str,
+        ticket: FusionTicket,
+        *,
+        max_wait_ms: float | None = None,
+    ) -> np.ndarray:
         """Block until ``ticket`` resolves, enforcing the coalescing deadline.
 
         Waits up to ``max_wait_ms`` of real time for another thread to fill
@@ -322,11 +328,19 @@ class BatchFuser:
         Pipelined clients that hold several outstanding tickets must reap
         them through this method (or ``flush`` explicitly) — a bare
         ``ticket.wait()`` enforces no deadline.
+
+        ``max_wait_ms`` (when given) caps this call's coalescing wait below
+        the fuser-wide default — the hook that lets a request with a nearly
+        spent deadline budget skip the coalescing window instead of blowing
+        its deadline waiting for batch-mates.  It can only shorten the wait,
+        never extend it.
         """
         if not ticket._event.is_set():
             # time.monotonic, not the injected clock: deadlines interact
             # with Event.wait, which always measures real time.
             remaining = self.max_wait_ms / 1000.0
+            if max_wait_ms is not None:
+                remaining = min(remaining, max(0.0, float(max_wait_ms)) / 1000.0)
             if remaining <= 0.0 or not ticket.wait(remaining):
                 if not ticket.done:
                     # Deadline expired: lead the flush ourselves — but only
@@ -343,15 +357,18 @@ class BatchFuser:
                     ticket.wait()
         return ticket.result()
 
-    def encode(self, name: str, data) -> np.ndarray:
+    def encode(
+        self, name: str, data, *, max_wait_ms: float | None = None
+    ) -> np.ndarray:
         """Blocking encode through the fusion queue (thread-safe).
 
         Semantically identical to ``service.encode(name, data)`` — same
         bytes, same errors — but concurrent callers of the same model are
         answered by shared fused passes.  Adds at most ``max_wait_ms`` of
-        coalescing latency.
+        coalescing latency (the per-call override can only lower the
+        fuser-wide bound).
         """
-        return self.wait_for(name, self.submit(name, data))
+        return self.wait_for(name, self.submit(name, data), max_wait_ms=max_wait_ms)
 
     def close(self) -> None:
         """Flush every lane (call before dropping the fuser)."""

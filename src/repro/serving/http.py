@@ -19,26 +19,52 @@ Routes
     Per-model counters (including the queue/compute split and fusion
     ratio), cache counters and the fuser configuration.
 ``POST /encode``
-    Body ``{"model": name, "data": [[...], ...], "use_cache": true}``;
-    responds ``{"features": [[...], ...], "shape": [n, k], "dtype": ...}``.
+    Body ``{"model": name, "data": [[...], ...], "use_cache": true,
+    "deadline_ms": 50}`` (the last two optional); responds
+    ``{"features": [[...], ...], "shape": [n, k], "dtype": ...}``.
+
+Overload protection: a server built with ``max_in_flight`` answers
+``503`` with a ``Retry-After`` header once that many ``/encode`` requests
+are in flight, instead of queueing unboundedly until every client times
+out.  A request carrying ``deadline_ms`` is shed the same way when its
+budget is spent before compute can start, and what budget remains caps the
+fuser's coalescing wait.  Shed/admitted counters appear under
+``"admission"`` in ``/stats``.  A server built with ``secret`` requires
+the ``X-Repro-Secret`` header everywhere except ``/healthz``.
 
 Error mapping: unknown model name → 404, invalid input or body → 400,
-oversized body → 413, anything else → 500; every error body is
+missing/bad secret → 401, oversized body → 413, overload or spent deadline
+→ 503 (+ ``Retry-After``), anything else → 500; every error body is
 ``{"error": message}``.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from http.server import ThreadingHTTPServer
 
 import numpy as np
 
-from repro.exceptions import ServingError, ValidationError
+from repro.exceptions import ReproError, ServingError, ValidationError
 from repro.serving.fusion import BatchFuser
 from repro.serving.service import EncodingService
+from repro.serving.stats import AdmissionStats
 from repro.serving.wire import MAX_BODY_BYTES, JsonRequestHandler, PayloadTooLargeError
+from repro.utils.validation import check_positive_int
 
-__all__ = ["EncodingHTTPServer", "build_server", "MAX_BODY_BYTES"]
+__all__ = [
+    "EncodingHTTPServer",
+    "DeadlineExceededError",
+    "build_server",
+    "MAX_BODY_BYTES",
+]
+
+
+class DeadlineExceededError(ReproError):
+    """An admitted request's ``deadline_ms`` budget ran out before compute
+    could start; mapped to 503 + ``Retry-After`` (the client should shed
+    load or retry with a fresh budget)."""
 
 
 class _EncodingRequestHandler(JsonRequestHandler):
@@ -48,9 +74,12 @@ class _EncodingRequestHandler(JsonRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service: EncodingService = self.server.service  # type: ignore[attr-defined]
         if self.path == "/healthz":
+            # Liveness stays open: probes should not need the secret.
             self.send_json(
                 200, {"status": "ok", "models": service.model_names}
             )
+        elif not self.authorize():
+            return
         elif self.path == "/models":
             self.send_json(200, {"models": self.server.describe_models()})  # type: ignore[attr-defined]
         elif self.path == "/stats":
@@ -59,13 +88,33 @@ class _EncodingRequestHandler(JsonRequestHandler):
             self.send_error_json(404, f"unknown route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.authorize():
+            return
         if self.path != "/encode":
             self.drain_body()
             self.send_error_json(404, f"unknown route {self.path!r}")
             return
+        server: "EncodingHTTPServer" = self.server  # type: ignore[assignment]
+        arrival = time.monotonic()
+        if not server.try_admit():
+            # Shed before reading the body: an overloaded server should do
+            # the least possible work per rejected request.
+            self.drain_body()
+            self.send_json(
+                503,
+                {"error": "server is at capacity (max_in_flight reached)"},
+                headers={"Retry-After": server.retry_after_header},
+            )
+            return
         try:
             request = self.read_json_body()
-            response = self.server.handle_encode(request)  # type: ignore[attr-defined]
+            response = server.handle_encode(request, arrival=arrival)
+        except DeadlineExceededError as exc:
+            self.send_json(
+                503,
+                {"error": str(exc)},
+                headers={"Retry-After": server.retry_after_header},
+            )
         except ServingError as exc:
             self.send_error_json(404, str(exc))
         except PayloadTooLargeError as exc:
@@ -76,6 +125,8 @@ class _EncodingRequestHandler(JsonRequestHandler):
             self.send_error_json(500, f"{type(exc).__name__}: {exc}")
         else:
             self.send_json(200, response)
+        finally:
+            server.release_request()
 
 
 class EncodingHTTPServer(ThreadingHTTPServer):
@@ -92,6 +143,16 @@ class EncodingHTTPServer(ThreadingHTTPServer):
         When given, ``/encode`` requests go through the fusion queue so
         concurrent requests for the same model share one matmul; without
         it each request is encoded directly.
+    max_in_flight : int, optional
+        Admission-control bound: at most this many ``/encode`` requests are
+        processed concurrently; excess requests are answered ``503`` with a
+        ``Retry-After`` header instead of queueing unboundedly.  ``None``
+        (the default) disables the gate.
+    retry_after : float, default 1.0
+        Seconds advertised in the ``Retry-After`` header of shed requests.
+    secret : str, optional
+        Shared secret required (``X-Repro-Secret``) on every route except
+        ``/healthz``.
     verbose : bool, default False
         Log one line per request to stderr (stdlib format).
     """
@@ -104,15 +165,52 @@ class EncodingHTTPServer(ThreadingHTTPServer):
         service: EncodingService,
         *,
         fuser: BatchFuser | None = None,
+        max_in_flight: int | None = None,
+        retry_after: float = 1.0,
+        secret: str | None = None,
         verbose: bool = False,
     ) -> None:
         self.service = service
         self.fuser = fuser
         self.verbose = verbose
+        self.max_in_flight = (
+            check_positive_int(max_in_flight, name="max_in_flight")
+            if max_in_flight is not None
+            else None
+        )
+        if retry_after <= 0:
+            raise ValidationError(f"retry_after must be > 0, got {retry_after}")
+        self.retry_after = float(retry_after)
+        self.auth_secret = str(secret) if secret else None
+        self.admission = AdmissionStats()
+        self._slots = (
+            threading.BoundedSemaphore(self.max_in_flight)
+            if self.max_in_flight is not None
+            else None
+        )
         super().__init__(address, _EncodingRequestHandler)
 
+    # ------------------------------------------------------------ admission
+    @property
+    def retry_after_header(self) -> int:
+        """``Retry-After`` is specified in whole seconds; round up."""
+        return max(1, int(-(-self.retry_after // 1)))
+
+    def try_admit(self) -> bool:
+        """Claim an in-flight slot (non-blocking); False sheds the request."""
+        if self._slots is not None and not self._slots.acquire(blocking=False):
+            self.admission.shed()
+            return False
+        self.admission.admitted()
+        return True
+
+    def release_request(self) -> None:
+        self.admission.released()
+        if self._slots is not None:
+            self._slots.release()
+
     # ------------------------------------------------------------ handlers
-    def handle_encode(self, request: dict) -> dict:
+    def handle_encode(self, request: dict, *, arrival: float | None = None) -> dict:
         name = request.get("model")
         if not isinstance(name, str) or not name:
             raise ValidationError("request must name a 'model' (non-empty string)")
@@ -120,9 +218,10 @@ class EncodingHTTPServer(ThreadingHTTPServer):
             raise ValidationError("request must carry a 'data' matrix")
         data = np.asarray(request["data"], dtype=float)
         use_cache = bool(request.get("use_cache", True))
+        budget_ms = self._remaining_budget_ms(request, arrival)
         used_fuser = self.fuser is not None and use_cache == self.fuser.use_cache
         if used_fuser:
-            features = self.fuser.encode(name, data)
+            features = self.fuser.encode(name, data, max_wait_ms=budget_ms)
         else:
             features = self.service.encode(name, data, use_cache=use_cache)
         return {
@@ -132,6 +231,38 @@ class EncodingHTTPServer(ThreadingHTTPServer):
             "dtype": str(features.dtype),
             "fused": used_fuser,
         }
+
+    def _remaining_budget_ms(
+        self, request: dict, arrival: float | None
+    ) -> float | None:
+        """What is left of the request's ``deadline_ms`` budget (None: no
+        deadline).  A spent budget raises :class:`DeadlineExceededError`
+        (counted as a deadline shed) instead of computing a result the
+        client has already given up on."""
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            ) from None
+        if deadline_ms <= 0:
+            raise ValidationError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        elapsed_ms = (
+            (time.monotonic() - arrival) * 1000.0 if arrival is not None else 0.0
+        )
+        remaining = deadline_ms - elapsed_ms
+        if remaining <= 0:
+            self.admission.deadline_shed()
+            raise DeadlineExceededError(
+                f"deadline budget of {deadline_ms:g}ms was spent before "
+                f"compute started ({elapsed_ms:.1f}ms elapsed)"
+            )
+        return remaining
 
     def describe_models(self) -> dict:
         models = {}
@@ -159,6 +290,11 @@ class EncodingHTTPServer(ThreadingHTTPServer):
             "models": self.service.stats(),
             "cache": self.service.cache_info,
             "fusion": None,
+            "admission": {
+                "max_in_flight": self.max_in_flight,
+                "retry_after": self.retry_after,
+                **self.admission.as_dict(),
+            },
         }
         if self.fuser is not None:
             payload["fusion"] = {
@@ -181,9 +317,18 @@ def build_server(
     fuser: BatchFuser | None = None,
     host: str = "127.0.0.1",
     port: int = 8000,
+    max_in_flight: int | None = None,
+    retry_after: float = 1.0,
+    secret: str | None = None,
     verbose: bool = False,
 ) -> EncodingHTTPServer:
     """Bind an :class:`EncodingHTTPServer` (port 0 → ephemeral port)."""
     return EncodingHTTPServer(
-        (host, port), service, fuser=fuser, verbose=verbose
+        (host, port),
+        service,
+        fuser=fuser,
+        max_in_flight=max_in_flight,
+        retry_after=retry_after,
+        secret=secret,
+        verbose=verbose,
     )

@@ -23,7 +23,70 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["ModelStats"]
+__all__ = ["ModelStats", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Overload-protection counters of the HTTP front end (thread-safe).
+
+    Tracks the admission gate (``max_in_flight``): how many requests were
+    admitted, how many were shed with 503 because every slot was taken, and
+    how many were shed because their client-supplied deadline budget was
+    already spent before compute could start.
+
+    Attributes
+    ----------
+    n_admitted : int
+        Requests that passed the gate (including ones that later failed).
+    n_shed : int
+        Requests answered ``503 Retry-After`` at the gate — capacity shed.
+    n_deadline_shed : int
+        Admitted requests shed because their ``deadline_ms`` budget expired
+        before (or during) queueing — deadline shed.
+    in_flight : int
+        Requests currently inside the gate.
+    peak_in_flight : int
+        High-water mark of ``in_flight``.
+    """
+
+    n_admitted: int = 0
+    n_shed: int = 0
+    n_deadline_shed: int = 0
+    in_flight: int = 0
+    peak_in_flight: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def admitted(self) -> None:
+        with self._lock:
+            self.n_admitted += 1
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+
+    def released(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def shed(self) -> None:
+        with self._lock:
+            self.n_shed += 1
+
+    def deadline_shed(self) -> None:
+        with self._lock:
+            self.n_deadline_shed += 1
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "n_admitted": self.n_admitted,
+                "n_shed": self.n_shed,
+                "n_deadline_shed": self.n_deadline_shed,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            }
 
 
 @dataclass

@@ -14,11 +14,17 @@ explicit error mapping.  This module holds the pieces they share:
 * :func:`request_json` — the matching stdlib client: one JSON request over a
   (reusable) :class:`http.client.HTTPConnection`, returning the decoded
   response and raising :exc:`WireError` on transport problems so callers can
-  implement retry/backoff without fishing through ``OSError`` subclasses.
+  implement retry/backoff without fishing through ``OSError`` subclasses;
+* **shared-secret auth** — a server exposing an ``auth_secret`` attribute
+  makes :meth:`JsonRequestHandler.authorize` require the matching
+  ``X-Repro-Secret`` header (constant-time compare, 401 on mismatch), and
+  ``request_json(secret=...)`` sends it.  Loopback deployments leave the
+  secret unset; anything bound to a routable address should set one.
 """
 
 from __future__ import annotations
 
+import hmac
 import http.client
 import json
 import socket
@@ -28,11 +34,15 @@ from repro.exceptions import ReproError, ValidationError
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "SECRET_HEADER",
     "PayloadTooLargeError",
     "WireError",
     "JsonRequestHandler",
     "request_json",
 ]
+
+#: Header carrying the shared secret on authenticated deployments.
+SECRET_HEADER = "X-Repro-Secret"
 
 #: Default request-body cap (64 MiB of JSON text).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -65,12 +75,40 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    # ------------------------------------------------------------------ auth
+    def authorize(self) -> bool:
+        """Enforce the server's shared secret, if it has one.
+
+        Servers opt in by exposing a non-empty ``auth_secret`` attribute;
+        the client must then send it in the :data:`SECRET_HEADER` header.
+        The comparison is constant-time (:func:`hmac.compare_digest`), so a
+        mismatching prefix leaks nothing through timing.  On mismatch a 401
+        is sent, the connection is closed (any unread body would desync
+        keep-alive) and ``False`` is returned — the handler must bail out.
+        """
+        secret = getattr(self.server, "auth_secret", None)
+        if not secret:
+            return True
+        provided = self.headers.get(SECRET_HEADER) or ""
+        if hmac.compare_digest(provided.encode("utf-8"), str(secret).encode("utf-8")):
+            return True
+        self.close_connection = True
+        self.send_error_json(
+            401, f"missing or invalid {SECRET_HEADER} shared secret"
+        )
+        return False
+
     # -------------------------------------------------------------- responses
-    def send_json(self, status: int, payload: dict) -> None:
+    def send_json(
+        self, status: int, payload: dict, *, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -151,6 +189,7 @@ def request_json(
     *,
     timeout: float = 30.0,
     connection: http.client.HTTPConnection | None = None,
+    secret: str | None = None,
 ) -> tuple[int, dict]:
     """One JSON request/response exchange; returns ``(status, payload)``.
 
@@ -158,7 +197,8 @@ def request_json(
     response bodies) raise :class:`WireError`; HTTP error statuses are
     returned to the caller, whose protocol decides what is fatal.  When
     ``connection`` is given it is reused (keep-alive) and left open; the
-    caller owns its lifecycle.
+    caller owns its lifecycle.  ``secret`` (when set) is sent in the
+    :data:`SECRET_HEADER` header for servers that require it.
     """
     own_connection = connection is None
     if own_connection:
@@ -168,6 +208,8 @@ def request_json(
     if payload is not None:
         body = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
+    if secret:
+        headers[SECRET_HEADER] = secret
     try:
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()

@@ -1,0 +1,167 @@
+"""Shared-secret authentication across the distributed surfaces.
+
+Covers the coordinator (every route except ``/healthz``), the standby
+worker's ``/join`` endpoint, the worker client's fatal 401 handling, and one
+end-to-end loopback grid where the secret travels via ``REPRO_SECRET``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_uci_suite
+from repro.datasets.base import Dataset, DatasetSuite
+from repro.distributed import DistributedError, GridCoordinator
+from repro.distributed.messages import PROTOCOL_VERSION
+from repro.distributed.worker import WorkerClient, _StandbyServer
+from repro.experiments.runner import ExperimentRunner
+from repro.serving.wire import request_json
+
+SECRET = "correct-horse-battery"
+
+SETTINGS = {
+    "n_hidden": 4,
+    "n_epochs": 2,
+    "batch_size": 32,
+    "random_state": 0,
+    "config_overrides": None,
+    "artifact_dir": None,
+}
+
+
+def make_dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="Iris", abbreviation="IR",
+        data=rng.standard_normal((6, 3)),
+        labels=rng.integers(0, 2, size=6),
+        metadata={},
+    )
+
+
+@pytest.fixture()
+def coordinator():
+    cells = [{"cell_id": "0:0", "dataset_ref": "IR", "algorithm": "DP",
+              "label": "DP", "repeat": 0}]
+    coord = GridCoordinator(
+        cells, {"IR": make_dataset()}, SETTINGS, secret=SECRET
+    ).start()
+    yield coord
+    coord.stop()
+
+
+def call(coordinator, method, path, payload=None, secret=None):
+    host, port = coordinator.address
+    return request_json(
+        host, port, method, path, payload, timeout=10.0, secret=secret
+    )
+
+
+class TestCoordinatorAuth:
+    def test_healthz_stays_open(self, coordinator):
+        status, body = call(coordinator, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_status_requires_the_secret(self, coordinator):
+        status, body = call(coordinator, "GET", "/status")
+        assert status == 401
+        assert "secret" in body["error"]
+        status, body = call(coordinator, "GET", "/status", secret=SECRET)
+        assert status == 200
+        assert body["secret_required"] is True
+
+    def test_wrong_secret_is_401(self, coordinator):
+        status, _ = call(coordinator, "GET", "/status", secret="wrong")
+        assert status == 401
+
+    def test_post_routes_require_the_secret(self, coordinator):
+        payload = {"worker_id": "w1"}
+        status, _ = call(coordinator, "POST", "/cell/lease", payload)
+        assert status == 401
+        status, body = call(
+            coordinator, "POST", "/cell/lease", payload, secret=SECRET
+        )
+        assert status == 200
+        assert body["cell"]["cell_id"] == "0:0"
+
+    def test_dataset_transfer_requires_the_secret(self, coordinator):
+        assert call(coordinator, "GET", "/dataset/IR")[0] == 401
+        status, body = call(coordinator, "GET", "/dataset/IR", secret=SECRET)
+        assert status == 200
+        assert "digest" in body
+
+
+class TestWorkerClientAuth:
+    def test_rejected_secret_is_fatal_not_retried(self, coordinator):
+        host, port = coordinator.address
+        client = WorkerClient(host, port, secret="wrong")
+        with pytest.raises(DistributedError, match="shared secret"):
+            client.run()
+
+    def test_missing_secret_is_fatal(self, coordinator):
+        host, port = coordinator.address
+        client = WorkerClient(host, port)
+        with pytest.raises(DistributedError, match="shared secret"):
+            client.run()
+
+    def test_correct_secret_registers(self, coordinator):
+        host, port = coordinator.address
+        client = WorkerClient(host, port, secret=SECRET)
+        body = client._exchange(
+            "POST", "/worker/register",
+            {"protocol": PROTOCOL_VERSION, "worker_id": client.worker_id},
+        )
+        assert body["n_cells"] == 1
+
+
+class TestStandbyWorkerAuth:
+    @pytest.fixture()
+    def standby(self):
+        server = _StandbyServer(("127.0.0.1", 0), secret=SECRET)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_join_requires_the_secret(self, standby):
+        host, port = standby.server_address[:2]
+        payload = {"protocol": PROTOCOL_VERSION, "coordinator": "127.0.0.1:1"}
+        status, body = request_json(
+            host, port, "POST", "/join", payload, timeout=10.0
+        )
+        assert status == 401
+        assert not standby.join_event.is_set()
+        status, body = request_json(
+            host, port, "POST", "/join", payload, timeout=10.0, secret=SECRET
+        )
+        assert status == 200 and body == {"ok": True}
+        assert standby.join_event.is_set()
+
+    def test_healthz_stays_open(self, standby):
+        host, port = standby.server_address[:2]
+        status, body = request_json(host, port, "GET", "/healthz", timeout=10.0)
+        assert status == 200
+        assert body["status"] in ("idle", "busy")
+
+
+class TestEndToEndSecret:
+    def test_loopback_grid_completes_with_a_secret(self):
+        # The secret reaches worker subprocesses via REPRO_SECRET (never
+        # argv); a full tiny grid proves the whole chain authenticates.
+        suite = DatasetSuite(
+            "mini", list(load_uci_suite(scale=0.25, random_state=0))[:1]
+        )
+        sequential = ExperimentRunner(
+            ("DP",), n_repeats=1, random_state=0
+        ).run_suite(suite)
+        runner = ExperimentRunner(
+            ("DP",), n_repeats=1, random_state=0, workers=1, secret=SECRET
+        )
+        table = runner.run_suite(suite)
+        assert table.to_dict() == sequential.to_dict()

@@ -15,10 +15,12 @@ import pytest
 
 from repro.datasets.base import Dataset
 from repro.distributed import PROTOCOL_VERSION, ProtocolError
+from repro.distributed.errors import DatasetIntegrityError
 from repro.distributed.messages import (
     cell_from_wire,
     cell_to_wire,
     check_protocol,
+    dataset_digest,
     dataset_from_wire,
     dataset_to_wire,
     json_safe,
@@ -85,6 +87,45 @@ class TestDatasetWire:
         del payload["labels"]
         with pytest.raises(ProtocolError, match="missing field"):
             dataset_from_wire(payload)
+
+
+class TestDatasetIntegrity:
+    def test_digest_travels_with_the_payload(self, dataset):
+        payload = dataset_to_wire(dataset)
+        assert payload["digest"] == dataset_digest(dataset)
+
+    def test_digest_survives_json_roundtrip(self, dataset):
+        # JSON floats round-trip bit-exactly, so the receiver recomputes the
+        # identical digest from the decoded matrices.
+        rebuilt = dataset_from_wire(roundtrip(dataset_to_wire(dataset)))
+        assert dataset_digest(rebuilt) == dataset_digest(dataset)
+
+    def test_tampered_data_is_rejected(self, dataset):
+        payload = roundtrip(dataset_to_wire(dataset))
+        payload["data"][0][0] += 1e-9
+        with pytest.raises(DatasetIntegrityError, match="digest"):
+            dataset_from_wire(payload)
+
+    def test_tampered_labels_are_rejected(self, dataset):
+        payload = roundtrip(dataset_to_wire(dataset))
+        payload["labels"][0] = (payload["labels"][0] + 1) % 3
+        with pytest.raises(DatasetIntegrityError, match="digest"):
+            dataset_from_wire(payload)
+
+    def test_absent_digest_is_tolerated(self, dataset):
+        # Peers predating the digest field still interoperate.
+        payload = roundtrip(dataset_to_wire(dataset))
+        del payload["digest"]
+        rebuilt = dataset_from_wire(payload)
+        np.testing.assert_array_equal(rebuilt.data, dataset.data)
+
+    def test_digest_depends_on_content_not_metadata(self, dataset):
+        other = Dataset(
+            name="Renamed", abbreviation="RN",
+            data=dataset.data.copy(), labels=dataset.labels.copy(),
+            metadata={"different": True},
+        )
+        assert dataset_digest(other) == dataset_digest(dataset)
 
 
 class TestSettingsWire:

@@ -47,10 +47,12 @@ class TestConstruction:
             "n_cells": 3,
             "n_pending": 3,
             "n_leased": 0,
+            "n_delayed": 0,
             "n_completed": 0,
             "n_requeued": 0,
             "n_duplicates": 0,
             "n_expired_leases": 0,
+            "n_retried": 0,
         }
         assert not queue.done
 

@@ -1,0 +1,193 @@
+"""Tests for the deterministic fault-injection proxy.
+
+A tiny stdlib upstream server counts the requests that actually reach it;
+the proxy sits in front and misbehaves on a fully scripted schedule, so each
+fault mode is pinned to one specific request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.resilience import (
+    FaultDecision,
+    FaultProxy,
+    FaultSchedule,
+    ScriptedSchedule,
+)
+from repro.serving.wire import WireError, request_json
+
+
+class _EchoHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):  # noqa: A002 - stdlib name
+        pass
+
+    def _respond(self):
+        with self.server.lock:  # type: ignore[attr-defined]
+            self.server.n_hits += 1  # type: ignore[attr-defined]
+            hits = self.server.n_hits  # type: ignore[attr-defined]
+        body = json.dumps({"path": self.path, "hit": hits}).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._respond()
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        self._respond()
+
+
+@pytest.fixture()
+def upstream():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _EchoHandler)
+    server.daemon_threads = True
+    server.n_hits = 0
+    server.lock = threading.Lock()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def through(proxy, path="/ping"):
+    host, port = proxy.address
+    return request_json(host, port, "GET", path, timeout=10.0)
+
+
+class TestScriptedFaults:
+    def test_clean_relay(self, upstream):
+        schedule = ScriptedSchedule(["relay"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            status, body = through(proxy, "/ping")
+            assert status == 200
+            assert body == {"path": "/ping", "hit": 1}
+            assert proxy.counters.as_dict()["n_relayed"] == 1
+
+    def test_injected_500_never_reaches_upstream(self, upstream):
+        schedule = ScriptedSchedule(["error"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            status, body = through(proxy)
+            assert status == 500
+            assert "injected fault" in body["error"]
+            assert upstream.n_hits == 0
+            assert proxy.counters.as_dict()["n_injected_errors"] == 1
+
+    def test_reset_severs_the_client(self, upstream):
+        schedule = ScriptedSchedule(["reset"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            with pytest.raises(WireError):
+                through(proxy)
+            assert upstream.n_hits == 0
+            assert proxy.counters.as_dict()["n_reset"] == 1
+
+    def test_drop_closes_without_a_response(self, upstream):
+        schedule = ScriptedSchedule(["drop"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            with pytest.raises(WireError):
+                through(proxy)
+            assert upstream.n_hits == 0
+            assert proxy.counters.as_dict()["n_dropped"] == 1
+
+    def test_duplicate_hits_upstream_twice(self, upstream):
+        schedule = ScriptedSchedule(["duplicate"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            status, body = through(proxy)
+            # The client receives the *first* upstream response; the second
+            # exists only to exercise idempotent server paths.
+            assert status == 200
+            assert body["hit"] == 1
+            assert upstream.n_hits == 2
+            assert proxy.counters.as_dict()["n_duplicated"] == 1
+
+    def test_exhausted_script_relays_cleanly(self, upstream):
+        schedule = ScriptedSchedule(["error"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            through(proxy)  # consumes the scripted error
+            status, body = through(proxy, "/after")
+            assert status == 200
+            assert body["path"] == "/after"
+        assert schedule.log == [("/ping", "error"), ("/after", "relay")]
+
+    def test_counters_track_every_request(self, upstream):
+        schedule = ScriptedSchedule(["relay", "error", "drop"])
+        with FaultProxy(*upstream.server_address[:2], schedule=schedule) as proxy:
+            through(proxy)
+            through(proxy)
+            with pytest.raises(WireError):
+                through(proxy)
+            counters = proxy.counters.as_dict()
+        assert counters["n_requests"] == 3
+        assert counters["n_relayed"] == 1
+        assert counters["n_injected_errors"] == 1
+        assert counters["n_dropped"] == 1
+
+    def test_dead_upstream_counts_as_upstream_failure(self, upstream):
+        schedule = ScriptedSchedule([])
+        address = upstream.server_address[:2]
+        with FaultProxy(*address, schedule=schedule) as proxy:
+            upstream.shutdown()
+            upstream.server_close()
+            with pytest.raises(WireError):
+                through(proxy)
+            assert proxy.counters.as_dict()["n_upstream_failures"] == 1
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_decisions(self):
+        kwargs = dict(p_reset=0.2, p_drop=0.2, p_duplicate=0.2, p_error=0.2,
+                      latency_ms=1.0, jitter_ms=2.0)
+        first = FaultSchedule(7, **kwargs)
+        second = FaultSchedule(7, **kwargs)
+        decisions_a = [first.decide("/x") for _ in range(64)]
+        decisions_b = [second.decide("/x") for _ in range(64)]
+        assert decisions_a == decisions_b
+        assert {d.action for d in decisions_a} > {"relay"}  # faults did fire
+
+    def test_protected_routes_always_relay(self):
+        schedule = FaultSchedule(0, p_reset=1.0, protect_routes=["/safe"])
+        assert schedule.decide("/safe").action == "relay"
+        assert schedule.decide("/other").action == "reset"
+
+    def test_error_routes_scope_the_500s(self):
+        schedule = FaultSchedule(0, p_error=1.0, error_routes=["/cell/result"])
+        assert schedule.decide("/cell/result").action == "error"
+        assert schedule.decide("/cell/lease").action == "relay"
+
+    def test_latency_applies_to_every_decision(self):
+        schedule = FaultSchedule(0, latency_ms=5.0)
+        decision = schedule.decide("/x")
+        assert decision.action == "relay"
+        assert decision.latency_s == pytest.approx(0.005)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValidationError, match="p_drop"):
+            FaultSchedule(0, p_drop=1.5)
+
+
+class TestValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault action"):
+            FaultDecision("explode")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError, match="latency"):
+            FaultDecision("relay", -0.1)
+
+    def test_schedule_must_decide(self):
+        with pytest.raises(ValidationError, match="decide"):
+            FaultProxy("127.0.0.1", 1, schedule=object())

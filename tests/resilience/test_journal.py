@@ -1,0 +1,225 @@
+"""Tests for the write-ahead grid journal and the grid fingerprint.
+
+The torn-write cases simulate exactly what a SIGKILL can leave behind: a
+half-written final line.  Everything before it was fsync'd in order, so
+replay must recover it all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.resilience import GridJournal, JournalError, grid_fingerprint
+from repro.resilience.journal import JOURNAL_VERSION
+
+CELLS = [
+    {"cell_id": "0:0", "dataset_ref": "IR", "algorithm": "DP",
+     "label": "DP", "repeat": 0},
+    {"cell_id": "0:1", "dataset_ref": "IR", "algorithm": "DP",
+     "label": "DP", "repeat": 1},
+]
+SETTINGS = {"n_hidden": 4, "n_epochs": 2, "random_state": 0,
+            "artifact_dir": None}
+OUTCOME_A = {"report": {"accuracy": 1 / 3}, "artifact_hit": False}
+OUTCOME_B = {"report": {"accuracy": 0.1 + 0.2}, "artifact_hit": True}
+
+
+def make_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="Iris",
+        abbreviation="IR",
+        data=rng.standard_normal((6, 3)),
+        labels=rng.integers(0, 2, size=6),
+        metadata={},
+    )
+
+
+@pytest.fixture()
+def fingerprint():
+    return grid_fingerprint(CELLS, SETTINGS, {"IR": make_dataset()})
+
+
+class TestFingerprint:
+    def test_deterministic(self, fingerprint):
+        again = grid_fingerprint(CELLS, SETTINGS, {"IR": make_dataset()})
+        assert again == fingerprint
+
+    def test_artifact_dir_is_ignored(self, fingerprint):
+        settings = dict(SETTINGS, artifact_dir="/tmp/somewhere-else")
+        assert grid_fingerprint(
+            CELLS, settings, {"IR": make_dataset()}
+        ) == fingerprint
+
+    def test_settings_change_the_fingerprint(self, fingerprint):
+        settings = dict(SETTINGS, n_hidden=8)
+        assert grid_fingerprint(
+            CELLS, settings, {"IR": make_dataset()}
+        ) != fingerprint
+
+    def test_cell_order_changes_the_fingerprint(self, fingerprint):
+        assert grid_fingerprint(
+            list(reversed(CELLS)), SETTINGS, {"IR": make_dataset()}
+        ) != fingerprint
+
+    def test_dataset_content_changes_the_fingerprint(self, fingerprint):
+        assert grid_fingerprint(
+            CELLS, SETTINGS, {"IR": make_dataset(seed=1)}
+        ) != fingerprint
+
+    def test_datasets_participate_at_all(self, fingerprint):
+        assert grid_fingerprint(CELLS, SETTINGS) != fingerprint
+
+
+class TestFreshAndReplay:
+    def test_roundtrip(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+            journal.record_result("0:1", OUTCOME_B)
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_A, "0:1": OUTCOME_B}
+        assert resumed.n_torn_lines == 0
+        resumed.close()
+
+    def test_fresh_truncates_previous_journal(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with GridJournal(path, fingerprint=fingerprint):
+            pass
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {}
+        resumed.close()
+
+    def test_duplicate_cell_records_last_write_wins(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+            journal.record_result("0:0", OUTCOME_B)
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_B}
+        resumed.close()
+
+    def test_error_records_are_journalled_but_not_replayed(
+        self, tmp_path, fingerprint
+    ):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_error(
+                "0:1", worker_id="w1", kind="MemoryError", transient=True
+            )
+            journal.record_result("0:0", OUTCOME_A)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[1] == {
+            "cell_id": "0:1", "kind": "MemoryError", "transient": True,
+            "type": "error", "worker_id": "w1",
+        }
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_A}  # the error is skipped
+        resumed.close()
+
+    def test_resume_keeps_appending(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with GridJournal(path, fingerprint=fingerprint, resume=True) as journal:
+            journal.record_result("0:1", OUTCOME_B)
+        final = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert set(final.replayed) == {"0:0", "0:1"}
+        final.close()
+
+    def test_parent_directories_are_created(self, tmp_path, fingerprint):
+        path = tmp_path / "deep" / "nested" / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint):
+            pass
+        assert path.is_file()
+
+
+class TestTornTail:
+    def test_half_written_final_line_is_dropped(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "cell", "cell_id": "0:1", "outc')
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_A}
+        assert resumed.n_torn_lines == 1
+        resumed.close()
+
+    def test_blank_trailing_lines_are_tolerated(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_A}
+        assert resumed.n_torn_lines == 0
+        resumed.close()
+
+    def test_non_object_line_ends_the_replay(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('[1, 2, 3]\n')
+        resumed = GridJournal(path, fingerprint=fingerprint, resume=True)
+        assert resumed.replayed == {"0:0": OUTCOME_A}
+        assert resumed.n_torn_lines == 1
+        resumed.close()
+
+
+class TestRefusals:
+    def test_resume_requires_an_existing_file(self, tmp_path, fingerprint):
+        with pytest.raises(JournalError, match="does not exist"):
+            GridJournal(
+                tmp_path / "missing.jsonl", fingerprint=fingerprint, resume=True
+            )
+
+    def test_fingerprint_mismatch_refuses_replay(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        with GridJournal(path, fingerprint=fingerprint) as journal:
+            journal.record_result("0:0", OUTCOME_A)
+        with pytest.raises(JournalError, match="different grid"):
+            GridJournal(path, fingerprint="0" * 64, resume=True)
+
+    def test_version_mismatch_refuses_replay(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        header = {
+            "type": "header",
+            "version": JOURNAL_VERSION + 1,
+            "fingerprint": fingerprint,
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(JournalError, match="version"):
+            GridJournal(path, fingerprint=fingerprint, resume=True)
+
+    def test_empty_file_refused(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="empty"):
+            GridJournal(path, fingerprint=fingerprint, resume=True)
+
+    def test_garbage_header_refused(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(JournalError, match="header"):
+            GridJournal(path, fingerprint=fingerprint, resume=True)
+
+    def test_headerless_journal_refused(self, tmp_path, fingerprint):
+        path = tmp_path / "grid.jsonl"
+        path.write_text('{"type": "cell", "cell_id": "0:0", "outcome": {}}\n')
+        with pytest.raises(JournalError, match="header"):
+            GridJournal(path, fingerprint=fingerprint, resume=True)
+
+    def test_write_after_close_raises(self, tmp_path, fingerprint):
+        journal = GridJournal(tmp_path / "grid.jsonl", fingerprint=fingerprint)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.record_result("0:0", OUTCOME_A)

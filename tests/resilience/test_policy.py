@@ -1,0 +1,136 @@
+"""Unit tests for the failure policy: classification, retries, quarantine.
+
+Everything here is pure state-machine logic — no sockets, no clocks — so the
+tests enumerate the policy tables exhaustively.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.resilience import (
+    TRANSIENT_ERROR_KINDS,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_failure,
+)
+
+
+class TestClassifyFailure:
+    @pytest.mark.parametrize("kind", sorted(TRANSIENT_ERROR_KINDS))
+    def test_every_listed_kind_is_transient(self, kind):
+        assert classify_failure(kind) is True
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["ValueError", "TypeError", "ZeroDivisionError", "KeyError",
+         "RuntimeError", "CellExecutionError", "AssertionError"],
+    )
+    def test_unknown_kinds_default_deterministic(self, kind):
+        assert classify_failure(kind, "singular matrix") is False
+
+    @pytest.mark.parametrize(
+        "message",
+        ["read timed out", "Connection reset by peer", "BROKEN PIPE on fd 7",
+         "resource temporarily unavailable", "CUDA out of memory"],
+    )
+    def test_message_markers_override_unknown_kind(self, message):
+        # Third-party wrappers hide OS failures behind their own classes;
+        # the message still gives them away.
+        assert classify_failure("SomeLibraryError", message) is True
+
+    def test_empty_inputs_are_deterministic(self):
+        assert classify_failure(None) is False
+        assert classify_failure("", "") is False
+
+    def test_plain_bug_message_stays_deterministic(self):
+        assert classify_failure("ValueError", "division by zero") is False
+
+
+class TestRetryPolicy:
+    def test_allows_up_to_budget(self):
+        policy = RetryPolicy(max_cell_retries=2)
+        assert policy.allows(1) is True
+        assert policy.allows(2) is True
+        assert policy.allows(3) is False
+
+    def test_zero_retries_restores_fail_fast(self):
+        policy = RetryPolicy(max_cell_retries=0)
+        assert policy.allows(1) is False
+
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_cap=3.0)
+        assert policy.delay(1) == 0.5
+        assert policy.delay(2) == 1.0
+        assert policy.delay(3) == 2.0
+        assert policy.delay(4) == 3.0  # capped
+        assert policy.delay(10) == 3.0
+
+    def test_delay_without_failures_is_zero(self):
+        assert RetryPolicy().delay(0) == 0.0
+        assert RetryPolicy().delay(-1) == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError, match="max_cell_retries"):
+            RetryPolicy(max_cell_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValidationError, match="backoff"):
+            RetryPolicy(backoff_base=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_exactly_once(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.record_failure("w1") is False
+        assert breaker.record_failure("w1") is False
+        assert breaker.record_failure("w1") is True  # newly tripped
+        assert breaker.record_failure("w1") is False  # already quarantined
+        assert breaker.is_quarantined("w1") is True
+
+    def test_success_resets_strikes(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("w1")
+        breaker.record_success("w1")
+        assert breaker.strikes("w1") == 0
+        assert breaker.record_failure("w1") is False
+        assert breaker.is_quarantined("w1") is False
+
+    def test_workers_are_independent(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("w1")
+        breaker.record_failure("w2")
+        assert breaker.record_failure("w1") is True
+        assert breaker.is_quarantined("w2") is False
+        assert breaker.quarantined == ["w1"]
+
+    def test_quarantined_list_is_sorted(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("zeta")
+        breaker.record_failure("alpha")
+        assert breaker.quarantined == ["alpha", "zeta"]
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(threshold=0)
+
+    def test_concurrent_failures_trip_exactly_once(self):
+        breaker = CircuitBreaker(threshold=8)
+        trips = []
+        barrier = threading.Barrier(8)
+
+        def strike():
+            barrier.wait()
+            if breaker.record_failure("w1"):
+                trips.append(True)
+
+        threads = [threading.Thread(target=strike) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trips) == 1
+        assert breaker.is_quarantined("w1")

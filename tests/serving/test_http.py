@@ -94,7 +94,7 @@ class TestRoutes:
     def test_stats_shape(self, server_stack):
         _, _, _, base = server_stack
         payload = get_json(base + "/stats")
-        assert set(payload) == {"models", "cache", "fusion"}
+        assert set(payload) == {"models", "cache", "fusion", "admission"}
         assert "ir" in payload["models"]
         assert payload["fusion"]["max_batch_rows"] == 64
         assert "entries" in payload["cache"]
