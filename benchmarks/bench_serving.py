@@ -13,7 +13,12 @@ Measures the costs that matter for the train/serve split:
   bit-identical to direct encodes before any number is reported;
 * **overload shedding** — the HTTP front end with admission control armed
   (``max_in_flight``) under a client flood: how cheap a 503 rejection is
-  compared to an accepted encode, and the accepted/shed split.
+  compared to an accepted encode, and the accepted/shed split;
+* **async/shard scaling** — the scale-out stack (asyncio front end over a
+  multi-process :class:`~repro.serving.shard.ShardPool`) under 120
+  concurrent keep-alive connections, run with 1 and 2 shard workers.
+  Every response is checked bit-identical to an unfused sequential encode
+  before the throughputs are reported.
 
 Runs standalone without pytest and writes the machine-readable report::
 
@@ -376,6 +381,159 @@ def run_overload_bench(
     }
 
 
+# ------------------------------------------------- async/shard scaling bench
+async def _async_post_raw(reader, writer, payload: bytes):
+    """One keep-alive POST /encode over an open asyncio connection."""
+    head = (
+        "POST /encode HTTP/1.1\r\nHost: bench\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    return status, await reader.readexactly(length)
+
+
+def run_async_shard_scaling_bench(
+    bundle,
+    data,
+    *,
+    n_connections: int = 120,
+    requests_per_connection: int = 2,
+    rows_per_request: int = 4,
+    n_models: int = 4,
+    worker_counts: tuple = (1, 2),
+) -> dict:
+    """Async front end + shard pool under 100+ concurrent connections.
+
+    Builds the scale-out serving stack — ``AsyncEncodingServer`` in front
+    of a :class:`~repro.serving.shard.ShardPool` — and drives it with an
+    asyncio load generator holding ``n_connections`` concurrent keep-alive
+    connections on one selector loop, once per entry in ``worker_counts``
+    (the 1-worker run is the sharding baseline).  Every response is checked
+    bit-identical against an unfused sequential ``service.encode`` of the
+    same rows before any number is reported; ``rows_per_request`` must stay
+    >= 2 so the per-shard fuser's stacked GEMM matches the unfused GEMM
+    kernel (the 1-row GEMV caveat, see the fusion bench).
+
+    On a single-core host the 2-worker run mostly measures that sharding
+    does not *cost* throughput; real scaling needs real cores — the report
+    carries ``cpu_count`` so readers can judge the numbers honestly.
+    """
+    import asyncio
+    import json as json_module
+
+    from repro.serving.async_http import build_async_server
+    from repro.serving.http import ServingGateway
+    from repro.serving.shard import ShardPool
+
+    models = [f"m{index}" for index in range(n_models)]
+    rows = np.asarray(data[:rows_per_request], dtype=float)
+    payload = json_module.dumps(
+        {"model": "MODEL", "data": rows.tolist(), "use_cache": False}
+    )
+    payloads = {
+        name: payload.replace('"MODEL"', f'"{name}"').encode("utf-8")
+        for name in models
+    }
+
+    reference = EncodingService(cache_entries=0)
+    reference.load("ref", bundle)
+    expected = reference.encode("ref", rows, use_cache=False)
+
+    async def connection_worker(port: int, index: int, n_requests: int) -> list:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        bodies = []
+        try:
+            for request_index in range(n_requests):
+                name = models[(index + request_index) % len(models)]
+                bodies.append(await _async_post_raw(reader, writer,
+                                                    payloads[name]))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+        return bodies
+
+    async def drive(port: int, connections: int, per_connection: int) -> list:
+        tasks = [
+            asyncio.create_task(connection_worker(port, index, per_connection))
+            for index in range(connections)
+        ]
+        return await asyncio.gather(*tasks)
+
+    bit_identical = True
+    scaling = []
+    for n_workers in worker_counts:
+        pool = ShardPool({name: str(bundle) for name in models}, n_workers)
+        try:
+            gateway = ServingGateway(pool)
+        except BaseException:
+            pool.close()
+            raise
+        server = build_async_server(gateway=gateway, port=0)
+        try:
+            server.start()
+            port = server.server_address[1]
+            # Warmup: scratch buffers + per-thread worker connections.
+            asyncio.run(drive(port, len(models), 1))
+            start = time.perf_counter()
+            per_connection = asyncio.run(
+                drive(port, n_connections, requests_per_connection)
+            )
+            seconds = time.perf_counter() - start
+        finally:
+            server.shutdown()  # drains, then closes the gateway + pool
+            server.server_close()
+
+        n_ok = 0
+        for bodies in per_connection:
+            for status, raw in bodies:
+                if status != 200:
+                    raise RuntimeError(
+                        f"scaling bench got HTTP {status}: {raw[:200]!r}"
+                    )
+                features = np.asarray(
+                    json_module.loads(raw)["features"], dtype=expected.dtype
+                )
+                if not np.array_equal(features, expected):
+                    bit_identical = False
+                n_ok += 1
+        total = n_connections * requests_per_connection
+        if n_ok != total:
+            raise RuntimeError(f"expected {total} responses, got {n_ok}")
+        scaling.append({
+            "n_workers": n_workers,
+            "seconds": seconds,
+            "requests_per_second": total / seconds,
+        })
+
+    return {
+        "n_connections": n_connections,
+        "requests_per_connection": requests_per_connection,
+        "rows_per_request": rows_per_request,
+        "n_models": n_models,
+        "bit_identical": bit_identical,
+        "scaling": scaling,
+        "throughput_scaling": (
+            scaling[-1]["requests_per_second"]
+            / scaling[0]["requests_per_second"]
+        ),
+    }
+
+
 # ------------------------------------------------------------------ sections
 def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None) -> dict:
     start = time.perf_counter()
@@ -421,6 +579,13 @@ def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None
         requests_per_client=10 if smoke else 25,
         shed_probe_requests=50 if smoke else 200,
     )
+    # The scale-out stack always runs at >= 100 connections — that IS the
+    # scenario; shrinking it in smoke mode would measure nothing.
+    async_shard = run_async_shard_scaling_bench(
+        bundle,
+        data,
+        requests_per_connection=2 if smoke else 4,
+    )
     return {
         "cold_load": {"seconds": cold_load_seconds},
         "cache": {
@@ -432,6 +597,7 @@ def _run_sections(framework, bundle, data, *, smoke: bool, online_framework=None
         "concurrent_fusion": fusion,
         "concurrent_fusion_sync": fusion_sync,
         "overload": overload,
+        "async_shard_scaling": async_shard,
     }
 
 
@@ -468,6 +634,19 @@ def _format_summary_lines(sections: dict) -> str:
             f"{overload['accepted_latency_ms']:.2f} ms accepted, "
             f"flood shed fraction {overload['flood_shed_fraction']:.0%}, "
             f"accepted {overload['accepted_requests_per_second']:,.0f} req/s"
+        )
+    shard = sections.get("async_shard_scaling")
+    if shard is not None:
+        per_worker = ", ".join(
+            f"{entry['n_workers']}w {entry['requests_per_second']:,.0f} req/s"
+            for entry in shard["scaling"]
+        )
+        lines.append(
+            f"async+shard ({shard['n_connections']} connections x "
+            f"{shard['requests_per_connection']} x "
+            f"{shard['rows_per_request']} rows): {per_worker} "
+            f"({shard['throughput_scaling']:.2f}x, "
+            f"bit_identical={shard['bit_identical']})"
         )
     return "\n".join(lines)
 
@@ -520,7 +699,8 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     emit(_format_summary_lines(payload["results"]))
     emit(f"serving benchmark report written to {out}")
-    for key in ("concurrent_fusion", "concurrent_fusion_sync"):
+    for key in ("concurrent_fusion", "concurrent_fusion_sync",
+                "async_shard_scaling"):
         if not payload["results"][key]["bit_identical"]:
             emit(f"ERROR: {key} fused results are not bit-identical to unfused")
             return 1

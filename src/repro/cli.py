@@ -392,65 +392,134 @@ def _parse_artifact_mappings(values: list[str]) -> dict[str, str]:
     return mappings
 
 
+def _shard_worker_args(args: argparse.Namespace) -> list[str]:
+    """Serving knobs forwarded verbatim to every shard worker subprocess."""
+    forwarded = [
+        "--batch-size", str(args.batch_size),
+        "--cache-entries", str(args.cache_entries),
+        "--max-batch-rows", str(args.max_batch_rows),
+        "--max-wait-ms", str(args.max_wait_ms),
+    ]
+    if args.dtype:
+        forwarded.extend(["--dtype", args.dtype])
+    if args.no_fusion:
+        forwarded.append("--no-fusion")
+    return forwarded
+
+
 def _build_serving_stack(args: argparse.Namespace):
     """(service, fuser, server) assembled from the serve subcommand's flags.
 
     Exposed separately from :func:`_cmd_serve` so tests and embedding code
     can build the exact CLI-configured stack without running
-    ``serve_forever``.
+    ``serve_forever``.  With ``--shard-workers`` the models live in worker
+    subprocesses, so ``service`` and ``fuser`` are ``None`` — route
+    everything through ``server.gateway``.
     """
     from repro.serving import BatchFuser, EncodingService
-    from repro.serving.http import build_server
+    from repro.serving.async_http import build_async_server
+    from repro.serving.http import ServingGateway, build_server
+    from repro.serving.shard import ShardPool
 
-    service = EncodingService(
-        max_batch_size=args.batch_size,
-        cache_entries=args.cache_entries,
-        dtype=args.dtype,
-    )
-    for name, path in _parse_artifact_mappings(args.artifact).items():
-        framework = service.load(name, path)
-        spec = getattr(framework, "spec", None)
-        if args.verbose and spec:  # pragma: no cover - cosmetic
-            print(f"loaded {name}: {json.dumps(spec, sort_keys=True)}")
-    fuser = None
-    if not args.no_fusion:
-        fuser = BatchFuser(
-            service,
-            max_batch_rows=args.max_batch_rows,
-            max_wait_ms=args.max_wait_ms,
+    use_async = getattr(args, "use_async", False)
+    shard_workers = getattr(args, "shard_workers", None)
+    mappings = _parse_artifact_mappings(args.artifact)
+
+    service = fuser = gateway = None
+    if shard_workers:
+        pool = ShardPool(
+            mappings,
+            shard_workers,
+            secret=args.secret,
+            extra_worker_args=_shard_worker_args(args),
+            verbose=args.verbose,
         )
-    server = build_server(
-        service,
-        fuser=fuser,
+        try:
+            gateway = ServingGateway(
+                pool,
+                max_in_flight=args.max_in_flight,
+                retry_after=args.retry_after,
+            )
+        except BaseException:  # pragma: no cover - construction race only
+            pool.close()
+            raise
+    else:
+        service = EncodingService(
+            max_batch_size=args.batch_size,
+            cache_entries=args.cache_entries,
+            dtype=args.dtype,
+        )
+        for name, path in mappings.items():
+            framework = service.load(name, path)
+            spec = getattr(framework, "spec", None)
+            if args.verbose and spec:  # pragma: no cover - cosmetic
+                print(f"loaded {name}: {json.dumps(spec, sort_keys=True)}")
+        if not args.no_fusion:
+            fuser = BatchFuser(
+                service,
+                max_batch_rows=args.max_batch_rows,
+                max_wait_ms=args.max_wait_ms,
+            )
+
+    builder = build_async_server if use_async else build_server
+    build_kwargs = dict(
         host=args.host,
         port=args.port,
-        max_in_flight=args.max_in_flight,
-        retry_after=args.retry_after,
         secret=args.secret,
         verbose=args.verbose,
     )
+    if use_async:
+        build_kwargs["executor_threads"] = args.executor_threads
+    try:
+        if gateway is not None:
+            server = builder(gateway=gateway, **build_kwargs)
+        else:
+            server = builder(
+                service,
+                fuser=fuser,
+                max_in_flight=args.max_in_flight,
+                retry_after=args.retry_after,
+                **build_kwargs,
+            )
+    except BaseException:
+        if gateway is not None:  # pragma: no cover - bind failures only
+            gateway.close()
+        raise
     return service, fuser, server
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
+    from repro.serving.async_http import AsyncEncodingServer
+
     service, fuser, server = _build_serving_stack(args)
+    is_async = isinstance(server, AsyncEncodingServer)
+    if is_async:
+        server.start()
     host, port = server.server_address[:2]
-    fusion = (
-        f"fusion: max_batch_rows={fuser.max_batch_rows}, "
-        f"max_wait_ms={fuser.max_wait_ms}"
-        if fuser is not None
-        else "fusion: disabled"
-    )
-    print(f"serving {len(service)} model(s) {service.model_names} "
+    shard_workers = getattr(args, "shard_workers", None)
+    if fuser is not None:
+        fusion = (
+            f"fusion: max_batch_rows={fuser.max_batch_rows}, "
+            f"max_wait_ms={fuser.max_wait_ms}"
+        )
+    elif shard_workers:
+        fusion = f"fusion: per-shard, {shard_workers} shard worker(s)"
+    else:
+        fusion = "fusion: disabled"
+    names = service.model_names if service is not None else server.gateway.model_names
+    print(f"serving {len(names)} model(s) {names} "
           f"on http://{host}:{port} ({fusion})", flush=True)
+    if is_async:
+        print(f"front end: async selector loop "
+              f"(executor_threads={args.executor_threads})", flush=True)
     print("routes: POST /encode, GET /models, GET /stats, GET /healthz",
           flush=True)
 
     # SIGTERM (the orchestrator's stop signal) drains exactly like Ctrl-C:
-    # in-flight handler threads finish their responses, the fuser flushes
-    # its lanes on close, and the process exits 0.
+    # in-flight requests finish their responses, the fuser flushes its
+    # lanes (shard workers shut down) on close, and the process exits 0.
     def _terminate(signum, frame):  # noqa: ARG001 - signal signature
         raise KeyboardInterrupt
 
@@ -461,9 +530,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         signal.signal(signal.SIGTERM, previous)
-        server.server_close()
-        if fuser is not None:
-            fuser.close()
+        if is_async:
+            # Graceful sequence: stop accepting, drain, close the backend.
+            server.shutdown()
+            server.server_close()
+        else:
+            # serve_forever has already exited; release the socket, then
+            # close the backend (fuser flush / shard-pool teardown).
+            server.server_close()
+            server.gateway.close()
     return 0
 
 
@@ -650,6 +725,20 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--retry-after", type=float, default=1.0,
                           help="seconds advertised in the Retry-After header "
                                "of shed requests (default: 1)")
+    scale = serve.add_argument_group("scale-out")
+    scale.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve on a single asyncio selector loop instead "
+                            "of one thread per connection (same routes and "
+                            "semantics; hundreds of concurrent keep-alive "
+                            "connections per process)")
+    scale.add_argument("--executor-threads", type=int, default=32,
+                       help="worker threads running encode dispatch under "
+                            "--async (default: 32)")
+    scale.add_argument("--shard-workers", type=int, default=None, metavar="N",
+                       help="partition the models across N worker "
+                            "subprocesses via consistent hashing; dead "
+                            "workers are respawned with their artifacts "
+                            "re-loaded (default: serve in-process)")
     serve.add_argument("--secret", default=os.environ.get("REPRO_SECRET"),
                        help="require this X-Repro-Secret header on every "
                             "route except /healthz (default: the "

@@ -497,8 +497,12 @@ class _StandbyRequestHandler(JsonRequestHandler):
             return
         server.pending_coordinator = coordinator
         server.busy.set()
-        self.send_json(200, {"ok": True})
+        # Set the event *before* writing the response: a runner that sees
+        # the 200 must be able to rely on the join being underway, and on a
+        # single-core host it can act on the response before this handler
+        # thread would otherwise be scheduled again.
         server.join_event.set()
+        self.send_json(200, {"ok": True})
 
 
 class _StandbyServer(ThreadingHTTPServer):

@@ -50,3 +50,13 @@ class SchemaVersionError(PersistenceError):
 
 class ServingError(ReproError, RuntimeError):
     """Raised by the serving layer (unknown model name, bad request)."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's ``deadline_ms`` budget ran out before compute could
+    start; the serving front ends map it to 503 + ``Retry-After`` (the
+    client should shed load or retry with a fresh budget).
+
+    Deliberately *not* a :class:`ServingError` subclass: the HTTP layer
+    maps ``ServingError`` to 404 (unknown model), while a spent deadline
+    is an overload signal."""

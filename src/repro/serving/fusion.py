@@ -46,11 +46,20 @@ from typing import Callable
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ServingError, ValidationError
 from repro.serving.service import EncodingService
 from repro.utils.validation import check_positive_int
 
-__all__ = ["BatchFuser", "FusionTicket"]
+__all__ = ["BatchFuser", "FuserClosedError", "FusionTicket"]
+
+
+class FuserClosedError(ServingError):
+    """A request was submitted to a :class:`BatchFuser` after ``close()``.
+
+    Raised instead of silently parking the request in a lane nobody will
+    flush again; the HTTP front ends map it to 503 + ``Retry-After`` (the
+    server is shutting down — a replica behind a load balancer should
+    receive no further traffic)."""
 
 _FLOAT64 = np.dtype(np.float64)
 
@@ -162,6 +171,7 @@ class BatchFuser:
         self.use_cache = bool(use_cache)
         self._clock = clock if clock is not None else service._clock
         self._lanes: dict[str, _Lane] = {}
+        self._closed = False
 
     # ----------------------------------------------------------------- lanes
     def _lane(self, name: str) -> _Lane:
@@ -197,6 +207,11 @@ class BatchFuser:
         ``max_wait_ms`` is 0), the submitting thread becomes the leader and
         flushes inline, so the returned ticket may already be resolved.
         """
+        if self._closed:
+            raise FuserClosedError(
+                "fuser is closed (the server is shutting down); "
+                "no further requests are accepted"
+            )
         runtime = self.service._models.get(name)
         if runtime is None:
             # Atomic lookup: raises ServingError for unknown names and
@@ -370,8 +385,23 @@ class BatchFuser:
         """
         return self.wait_for(name, self.submit(name, data), max_wait_ms=max_wait_ms)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (submissions are refused)."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush every lane (call before dropping the fuser)."""
+        """Refuse further submissions, then flush every lane (idempotent).
+
+        Must run *after* the front end has stopped accepting requests and
+        drained the in-flight ones — closing first would answer them with
+        :class:`FuserClosedError` 503s.  The flag is set before the final
+        flush so a submission racing ``close()`` either joins that flush
+        or fails loudly; it can never park in a lane nobody will drain
+        (its own ``wait_for`` deadline would still flush the lane, but a
+        bare ``ticket.wait()`` would hang forever).
+        """
+        self._closed = True
         self.flush()
 
     def __enter__(self) -> "BatchFuser":

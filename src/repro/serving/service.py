@@ -41,7 +41,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.framework import SelfLearningEncodingFramework
-from repro.exceptions import ServingError, ValidationError
+from repro.exceptions import DeadlineExceededError, ServingError, ValidationError
 from repro.persistence import load_framework
 from repro.serving.cache import LRUFeatureCache, input_digest
 from repro.serving.stats import ModelStats
@@ -265,17 +265,32 @@ class EncodingService:
         return len(self._models)
 
     # ---------------------------------------------------------------- serving
-    def encode(self, name: str, data, *, use_cache: bool = True) -> np.ndarray:
+    def encode(
+        self,
+        name: str,
+        data,
+        *,
+        use_cache: bool = True,
+        budget_ms: float | None = None,
+    ) -> np.ndarray:
         """Hidden features of ``data`` under the model registered as ``name``.
 
         With the default serving dtype the result is identical to
         ``estimator.transform(data)``; large inputs are micro-batched after
         preprocessing.  Cached results are returned as read-only arrays —
         copy before mutating.
+
+        ``budget_ms`` (when given) is the caller's remaining deadline
+        budget: if it is spent before compute can start — which includes
+        the wait for the model's compute lock behind slower requests —
+        the call is shed with :class:`DeadlineExceededError` instead of
+        burning compute on an answer nobody is waiting for.  A cache hit
+        beats any budget (it costs microseconds and no compute).
         """
         runtime, stats = self._entry(name)
         data = check_array(data, name="data")
         start = self._clock()
+        deadline = None if budget_ms is None else start + float(budget_ms) / 1000.0
 
         key = None
         if use_cache and self._cache is not None:
@@ -291,6 +306,14 @@ class EncodingService:
 
         with runtime.lock:
             compute_start = self._clock()
+            if deadline is not None and compute_start >= deadline:
+                # The budget died while this request queued on the compute
+                # lock; the front end answers 503 + Retry-After.
+                raise DeadlineExceededError(
+                    f"deadline budget of {budget_ms:g}ms was spent waiting "
+                    f"for {name!r}'s compute lock "
+                    f"({(compute_start - start) * 1000.0:.1f}ms elapsed)"
+                )
             features, n_batches = self._compute(runtime, data)
             compute_seconds = self._clock() - compute_start
 
@@ -534,6 +557,35 @@ class EncodingService:
         return runtime, stats
 
     # ------------------------------------------------------------ observability
+    def describe_models(self) -> dict[str, dict]:
+        """Serving metadata per registered model (consistent snapshot).
+
+        The registry is snapshotted under the service lock, so a concurrent
+        register/unregister can never be observed mid-mutation; the
+        per-runtime fields read afterwards are immutable once a runtime is
+        registered.  This is the accessor the HTTP front ends' ``/models``
+        route must use — iterating ``self._models`` without the lock races
+        re-registration.
+        """
+        with self._registry_lock:
+            runtimes = sorted(self._models.items())
+        models = {}
+        for name, runtime in runtimes:
+            models[name] = {
+                "estimator": type(runtime.estimator).__name__,
+                "fast_path": runtime.has_fast_path,
+                "n_features": (
+                    int(runtime.weights.shape[0]) if runtime.has_fast_path else None
+                ),
+                "n_hidden": (
+                    int(runtime.weights.shape[1]) if runtime.has_fast_path else None
+                ),
+                "dtype": (
+                    str(runtime.weights.dtype) if runtime.has_fast_path else None
+                ),
+            }
+        return models
+
     def stats(self, name: str | None = None) -> dict:
         """Counters for one model, or for all models keyed by name."""
         if name is not None:

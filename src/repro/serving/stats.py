@@ -58,6 +58,12 @@ class AdmissionStats:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    _idle: threading.Condition = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Shares the counter mutex so "in_flight reached zero" can be waited
+        # on (shutdown drains) without a second lock to keep consistent.
+        self._idle = threading.Condition(self._lock)
 
     def admitted(self) -> None:
         with self._lock:
@@ -69,6 +75,20 @@ class AdmissionStats:
     def released(self) -> None:
         with self._lock:
             self.in_flight -= 1
+            if self.in_flight <= 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; returns whether it drained.
+
+        The hook behind graceful shutdown: after the accept loop stops,
+        the server waits here for the admitted requests to release their
+        slots before tearing down the fuser they are still using.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self.in_flight <= 0, timeout=timeout
+            )
 
     def shed(self) -> None:
         with self._lock:

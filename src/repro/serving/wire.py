@@ -38,7 +38,9 @@ __all__ = [
     "PayloadTooLargeError",
     "WireError",
     "JsonRequestHandler",
+    "decode_json_object",
     "request_json",
+    "validate_content_length",
 ]
 
 #: Header carrying the shared secret on authenticated deployments.
@@ -55,6 +57,48 @@ class PayloadTooLargeError(ValidationError):
 class WireError(ReproError, ConnectionError):
     """A JSON/HTTP exchange failed at the transport level (connection
     refused or reset, timeout, or a non-JSON response body)."""
+
+
+def validate_content_length(raw: str | None, max_bytes: int) -> int:
+    """Validated ``Content-Length`` value shared by every front end.
+
+    The threaded handler and the asyncio parser must agree byte-for-byte
+    on what framing is acceptable, so the rules live in one place: a
+    missing, non-numeric or negative header raises
+    :class:`ValidationError` (HTTP 400 — a blocking body read without a
+    trustworthy length would hang the reader), and a length past
+    ``max_bytes`` raises :class:`PayloadTooLargeError` (HTTP 413).
+    """
+    if raw is None:
+        raise ValidationError("request requires a Content-Length header")
+    try:
+        length = int(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(f"invalid Content-Length header {raw!r}") from None
+    if length < 0:
+        raise ValidationError(f"invalid Content-Length header {raw!r}")
+    if length > max_bytes:
+        raise PayloadTooLargeError(
+            f"request body of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return length
+
+
+def decode_json_object(raw: bytes) -> dict:
+    """Decode a request body as a JSON object (shared by every front end).
+
+    Raises :class:`ValidationError` for an empty body, undecodable bytes
+    or a body that is valid JSON but not an object.
+    """
+    if not raw:
+        raise ValidationError("request requires a JSON body")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError("request body must be a JSON object")
+    return payload
 
 
 class JsonRequestHandler(BaseHTTPRequestHandler):
@@ -125,27 +169,16 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         :class:`PayloadTooLargeError` (HTTP 413) when it exceeds
         :attr:`max_body_bytes`.
         """
-        raw = self.headers.get("Content-Length")
-        if raw is None:
-            raise ValidationError("request requires a Content-Length header")
         try:
-            length = int(raw)
-        except (TypeError, ValueError):
-            raise ValidationError(
-                f"invalid Content-Length header {raw!r}"
-            ) from None
-        if length < 0:
-            raise ValidationError(f"invalid Content-Length header {raw!r}")
-        if length > self.max_body_bytes:
+            return validate_content_length(
+                self.headers.get("Content-Length"), self.max_body_bytes
+            )
+        except PayloadTooLargeError:
             # The unread body would desync a keep-alive connection (the next
             # request line would be parsed out of the body bytes), so force
             # this connection closed after the error response.
             self.close_connection = True
-            raise PayloadTooLargeError(
-                f"request body of {length} bytes exceeds the "
-                f"{self.max_body_bytes}-byte limit"
-            )
-        return length
+            raise
 
     def read_json_body(self) -> dict:
         """The request body decoded as a JSON object.
@@ -157,13 +190,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         length = self.content_length()
         if length == 0:
             raise ValidationError("request requires a JSON body")
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ValidationError("request body must be a JSON object")
-        return payload
+        return decode_json_object(self.rfile.read(length))
 
     def drain_body(self) -> None:
         """Consume (or sever) an unread request body on a rejected route.
